@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Benchmarks are experiment regenerations, not micro-benchmarks: each runs
+once (``_util.once``) and reports wall-clock cost alongside the
+regenerated table/figure data in ``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling _util module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

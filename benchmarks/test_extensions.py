@@ -1,0 +1,231 @@
+"""Extension experiments beyond the paper's evaluation:
+
+1. **CDR vs ZNE landscapes** — the paper's Sec. 2.3 catalogues CDR; we
+   compare its landscape quality and circuit overhead against both ZNE
+   configurations on the same noisy problem.
+2. **PEC sampling overhead** — the gamma-factor blow-up that makes PEC
+   impractical for whole landscapes (quantifying why the paper's
+   OSCAR-style benchmarking matters).
+3. **Adaptive sampling** — OSCAR without a user-chosen fraction: the
+   holdout-validated loop stops itself near the target error.
+4. **Transfer vs OSCAR initialization** — the Sec. 8 baseline
+   (parameter transfer from a small donor instance) head-to-head with
+   OSCAR initialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import emit, format_table, once
+
+from repro.ansatz import QaoaAnsatz
+from repro.initialization import OscarInitializer, transfer_initial_point
+from repro.landscape import (
+    AdaptiveConfig,
+    LandscapeGenerator,
+    OscarReconstructor,
+    adaptive_reconstruct,
+    cost_function,
+    nrmse,
+    qaoa_grid,
+)
+from repro.mitigation import (
+    CdrConfig,
+    PecEstimator,
+    ZneConfig,
+    cdr_cost_function,
+    zne_cost_function,
+)
+from repro.optimizers import Adam, CountingObjective
+from repro.problems import random_3_regular_maxcut
+from repro.quantum import NoiseModel
+
+
+def test_extension_cdr_vs_zne(benchmark):
+    problem = random_3_regular_maxcut(8, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=(16, 32))
+    noise = NoiseModel(p1=0.002, p2=0.01)
+    ideal = LandscapeGenerator(cost_function(ansatz), grid).grid_search()
+
+    def run():
+        rng = np.random.default_rng(0)
+        functions = {
+            # (cost function, circuit executions per landscape point)
+            "unmitigated": (cost_function(ansatz, noise=noise, shots=1024, rng=rng), 1.0),
+            "zne-richardson": (
+                zne_cost_function(ansatz, noise, ZneConfig((1.0, 2.0, 3.0), "richardson"), shots=1024, rng=rng),
+                3.0,
+            ),
+            "zne-linear": (
+                zne_cost_function(ansatz, noise, ZneConfig((1.0, 3.0), "linear"), shots=1024, rng=rng),
+                2.0,
+            ),
+            "cdr": (
+                cdr_cost_function(
+                    ansatz,
+                    noise,
+                    train_around=np.zeros(2),
+                    config=CdrConfig(num_training_circuits=30),
+                    shots=1024,
+                    training_shots=8192,
+                    rng=rng,
+                ),
+                1.0,  # training amortised across the landscape
+            ),
+        }
+        rows = []
+        for name, (function, overhead) in functions.items():
+            landscape = LandscapeGenerator(function, grid).grid_search()
+            rows.append([name, nrmse(ideal.values, landscape.values), overhead])
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "ext_cdr_vs_zne",
+        format_table(
+            ["method", "NRMSE vs ideal landscape", "circuit overhead / point"], rows
+        ),
+    )
+    errors = {row[0]: row[1] for row in rows}
+    # Every mitigation beats no mitigation; CDR is at least competitive
+    # with ZNE at lower per-point overhead (depolarizing noise is
+    # affine, CDR's sweet spot).
+    assert errors["cdr"] < errors["unmitigated"]
+    assert errors["zne-linear"] < errors["unmitigated"]
+    assert errors["cdr"] <= min(errors["zne-richardson"], errors["zne-linear"]) + 0.05
+
+
+def test_extension_pec_overhead(benchmark):
+    problem = random_3_regular_maxcut(6, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    params = np.array([0.25, -0.4])
+    circuit = ansatz.circuit(params)
+    diagonal = problem.cost_diagonal()
+
+    def run():
+        rows = []
+        for p2 in (0.002, 0.005, 0.01, 0.02):
+            noise = NoiseModel(p1=p2 / 5, p2=p2)
+            estimator = PecEstimator(noise, num_samples=800)
+            gamma = estimator.total_gamma(circuit)
+            estimate = estimator.estimate(
+                circuit, diagonal, rng=np.random.default_rng(0)
+            )
+            rows.append([p2, gamma, estimate])
+        return rows
+
+    rows = once(benchmark, run)
+    ideal = ansatz.expectation(params)
+    emit(
+        "ext_pec_overhead",
+        format_table(["2q error", "total gamma", "PEC estimate"], rows)
+        + [f"ideal value: {ideal:.4f}"],
+    )
+    gammas = [row[1] for row in rows]
+    # Overhead grows (exponentially) with the error rate.
+    assert all(later > earlier for earlier, later in zip(gammas, gammas[1:]))
+    # At low noise the estimate is accurate.
+    assert rows[0][2] == pytest.approx(ideal, abs=0.3)
+
+
+def test_extension_adaptive_sampling(benchmark):
+    problem = random_3_regular_maxcut(10, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=(30, 60))
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    truth = generator.grid_search()
+
+    def run():
+        rows = []
+        for target in (0.3, 0.1, 0.05):
+            oscar = OscarReconstructor(grid, rng=0)
+            outcome = adaptive_reconstruct(
+                oscar, generator, AdaptiveConfig(target_error=target)
+            )
+            rows.append(
+                [
+                    target,
+                    outcome.report.sampling_fraction,
+                    outcome.error_estimates[-1],
+                    nrmse(truth.values, outcome.landscape.values),
+                    outcome.met_target,
+                ]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "ext_adaptive_sampling",
+        format_table(
+            ["target NRMSE", "fraction used", "holdout estimate", "true NRMSE", "met"],
+            rows,
+        ),
+    )
+    # Tighter targets consume more samples; all runs met their target.
+    fractions = [row[1] for row in rows]
+    assert fractions[0] <= fractions[-1]
+    assert all(row[4] for row in rows)
+    # True error lands within ~3x of the target for the tight runs.
+    assert rows[-1][3] < 3 * rows[-1][0]
+
+
+def test_extension_transfer_vs_oscar_init(benchmark):
+    target = random_3_regular_maxcut(12, seed=5)
+    ansatz = QaoaAnsatz(target, p=1)
+    grid = qaoa_grid(p=1, resolution=(16, 32))
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    adam = lambda: Adam(maxiter=300, tolerance=1e-3, gradient_tolerance=5e-3)
+
+    def run():
+        rows = []
+        # Random baseline: mean over several starts (single runs vary).
+        rng = np.random.default_rng(0)
+        random_queries = []
+        random_values = []
+        for _ in range(4):
+            counting = CountingObjective(generator.evaluate_point)
+            start = np.array([rng.uniform(low, high) for low, high in grid.bounds])
+            result = adam().minimize(counting, start)
+            random_queries.append(counting.num_queries)
+            random_values.append(result.value)
+        rows.append(
+            ["random (mean of 4)", float(np.mean(random_queries)), 0,
+             float(np.mean(random_values))]
+        )
+        # Parameter transfer from a 6-qubit donor.
+        transfer = transfer_initial_point(donor_qubits=6, donor_seed=0)
+        counting = CountingObjective(generator.evaluate_point)
+        result = adam().minimize(counting, transfer.initial_point)
+        rows.append(
+            ["transfer (6q donor)", counting.num_queries, transfer.donor_executions, result.value]
+        )
+        # OSCAR initialization.
+        initializer = OscarInitializer(
+            OscarReconstructor(grid, rng=1), adam(), sampling_fraction=0.08, rng=1
+        )
+        outcome = initializer.choose(generator)
+        counting = CountingObjective(generator.evaluate_point)
+        result = adam().minimize(counting, outcome.initial_point)
+        rows.append(
+            ["oscar", counting.num_queries, outcome.reconstruction_queries, result.value]
+        )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        "ext_transfer_vs_oscar",
+        format_table(
+            ["initializer", "target QPU queries", "setup executions", "final value"],
+            rows,
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+    # Both informed initializers converge to at-least-as-good values and
+    # do not cost more target-QPU queries than the random average.
+    for name in ("transfer (6q donor)", "oscar"):
+        assert by_name[name][1] <= by_name["random (mean of 4)"][1] * 1.25
+        assert by_name[name][3] <= by_name["random (mean of 4)"][3] + 0.05
+
+
+import pytest  # noqa: E402  (used inside test bodies)

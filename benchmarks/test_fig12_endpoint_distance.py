@@ -1,0 +1,47 @@
+"""Fig. 12 — Euclidean distance between the endpoints of optimizing on
+the interpolated reconstruction vs with circuit executions, for ADAM
+and COBYLA, ideal and noisy settings.
+
+Paper shape: distances are small relative to the parameter-space
+diameter for both optimizers and both settings."""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import emit, format_table, once
+
+from repro.experiments import run_endpoint_distance_study
+
+
+def test_fig12_endpoint_distances(benchmark):
+    results = once(
+        benchmark,
+        run_endpoint_distance_study,
+        optimizers=("adam", "cobyla"),
+        noisy_settings=(False, True),
+        num_qubits=8,
+        num_instances=4,
+        resolution=(20, 40),
+        sampling_fraction=0.10,
+        seed=0,
+    )
+    rows = [
+        [r.optimizer, "noisy" if r.noisy else "ideal", r.instance_seed, r.distance]
+        for r in results
+    ]
+    emit(
+        "fig12_endpoint_distance",
+        format_table(["optimizer", "setting", "instance", "endpoint distance"], rows),
+    )
+    diameter = float(np.hypot(np.pi / 2, np.pi))  # grid diagonal
+    distances = np.array([r.distance for r in results])
+    # Median endpoint distance is a small fraction of the diameter.
+    assert np.median(distances) < 0.35 * diameter
+    # Every group has at least one close-agreement instance.
+    for optimizer in ("adam", "cobyla"):
+        for noisy in (False, True):
+            group = [
+                r.distance for r in results
+                if r.optimizer == optimizer and r.noisy == noisy
+            ]
+            assert min(group) < 0.35 * diameter

@@ -1,0 +1,33 @@
+"""Fig. 6 — reconstruction error vs sampling fraction on the (synthetic)
+Sycamore hardware landscapes.
+
+Paper shape: errors fall steeply to ~0.2-0.4 by 40-50% sampling, with
+the SK model noisiest throughout."""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import emit, format_table, once
+
+from repro.experiments import run_fig6_sycamore
+
+FRACTIONS = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def test_fig6_error_curves(benchmark):
+    curves = once(benchmark, run_fig6_sycamore, fractions=FRACTIONS, seed=0)
+    rows = []
+    for kind, series in curves.items():
+        for fraction, error in series:
+            rows.append([kind, fraction, error])
+    emit("fig6_sycamore_error", format_table(["problem", "fraction", "NRMSE"], rows))
+
+    for kind, series in curves.items():
+        errors = [e for _, e in series]
+        # Monotone-ish decrease and a usable endpoint.
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 0.6
+    # SK is the noisiest problem at every fraction (paper's Fig. 6).
+    sk = dict(curves["sk"])
+    mesh = dict(curves["mesh"])
+    assert np.mean([sk[f] for f in FRACTIONS]) > np.mean([mesh[f] for f in FRACTIONS])

@@ -1,0 +1,55 @@
+"""Fig. 8 — NRMSE between the reconstructed and target (QPU-1)
+landscapes vs the share of samples from QPU-1, without (A) and with (B)
+the Noise Compensation Model.
+
+Paper shape: the uncompensated error decreases as more samples come
+from QPU-1; the compensated error is flat and sits near the pure-QPU-1
+floor (orders of magnitude below the mixed error at small shares)."""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import emit, format_table, once
+
+from repro.experiments import run_fig8_sweep
+
+SHARES = (0.0, 0.25, 0.5, 0.75, 1.0)
+QUBITS = (8, 10, 12)
+
+
+def test_fig8_ncm(benchmark):
+    points = once(
+        benchmark,
+        run_fig8_sweep,
+        qubit_counts=QUBITS,
+        qpu1_shares=SHARES,
+        resolution=(30, 60),
+        total_fraction=0.10,
+        seed=0,
+    )
+    rows = [
+        [p.num_qubits, p.qpu1_share, p.nrmse_uncompensated, p.nrmse_compensated]
+        for p in points
+    ]
+    emit(
+        "fig8_ncm",
+        format_table(
+            ["#qubits", "QPU-1 share", "uncompensated NRMSE", "compensated NRMSE"], rows
+        ),
+    )
+    for qubits in QUBITS:
+        series = {p.qpu1_share: p for p in points if p.num_qubits == qubits}
+        # (A) mixing error shrinks as QPU-1 supplies more samples.
+        assert (
+            series[0.0].nrmse_uncompensated
+            > series[1.0].nrmse_uncompensated - 1e-9
+        )
+        # (B) compensation beats no compensation at every mixed share.
+        for share in (0.0, 0.25, 0.5, 0.75):
+            assert (
+                series[share].nrmse_compensated
+                <= series[share].nrmse_uncompensated + 1e-9
+            )
+        # Compensated error is ~flat across shares (paper panel B).
+        compensated = [series[s].nrmse_compensated for s in SHARES]
+        assert np.ptp(compensated) < 0.35 * max(compensated)

@@ -1,0 +1,53 @@
+"""Fig. 9 — Richardson vs linear ZNE landscapes, original and OSCAR
+reconstructions, on a depth-1 QAOA landscape with depolarizing noise
+(1q error 0.001, 2q error 0.02, the paper's configuration).
+
+Shape check: Richardson's salt-like statistical noise makes its
+landscape dramatically rougher (D2) than linear extrapolation's, in
+both the original and the reconstruction."""
+
+from __future__ import annotations
+
+from _util import emit, once
+
+from repro.experiments import run_mitigation_study
+from repro.viz import render_side_by_side
+
+
+def test_fig9_landscape_comparison(benchmark):
+    landscapes, rows = once(
+        benchmark,
+        run_mitigation_study,
+        num_qubits=10,
+        resolution=(20, 40),
+        shots=1024,
+        sampling_fraction=0.15,
+        seed=0,
+    )
+    lines = []
+    for setting in ("richardson", "linear"):
+        lines.append(
+            f"--- {setting}: reconstruction NRMSE "
+            f"{landscapes.reconstruction_nrmse[setting]:.3f} ---"
+        )
+        lines.extend(
+            render_side_by_side(
+                landscapes.original[setting],
+                landscapes.reconstructed[setting],
+                max_rows=10,
+                max_cols=22,
+                titles=(f"{setting} original", f"{setting} reconstructed"),
+            ).splitlines()
+        )
+        lines.append("")
+    emit("fig9_zne_landscapes", lines)
+
+    def roughness(setting, source):
+        return next(
+            r.second_derivative
+            for r in rows
+            if r.setting == setting and r.source == source
+        )
+
+    assert roughness("richardson", "original") > 2 * roughness("linear", "original")
+    assert roughness("richardson", "reconstructed") > roughness("linear", "reconstructed")

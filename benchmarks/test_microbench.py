@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+Unlike the experiment benchmarks (which run once), these use
+pytest-benchmark's statistical timing on the inner loops that dominate
+landscape generation: statevector gate application, the QAOA
+diagonal-phase fast path, one FISTA iteration cycle, and the spline
+interpolation query.  They guard against performance regressions in the
+code paths executed millions of times per experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ansatz import QaoaAnsatz
+from repro.cs import fista_lasso, reconstruction_operators
+from repro.landscape import (
+    InterpolatedLandscape,
+    LandscapeGenerator,
+    cost_function,
+    qaoa_grid,
+)
+from repro.problems import random_3_regular_maxcut
+from repro.quantum import Statevector
+from repro.quantum.gates import H, rx
+
+
+@pytest.fixture(scope="module")
+def qaoa12():
+    return QaoaAnsatz(random_3_regular_maxcut(12, seed=0), p=1)
+
+
+def test_bench_one_qubit_gate_application(benchmark):
+    state = Statevector(14)
+    matrix = rx(0.3)
+
+    def apply():
+        state.apply_one_qubit(matrix, 7)
+
+    benchmark(apply)
+    assert state.norm() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_bench_two_qubit_gate_application(benchmark):
+    state = Statevector(14)
+    from repro.quantum.gates import rzz
+
+    matrix = rzz(0.3)
+
+    def apply():
+        state.apply_two_qubit(matrix, 3, 9)
+
+    benchmark(apply)
+    assert state.norm() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_bench_qaoa_point_evaluation(benchmark, qaoa12):
+    params = np.array([0.2, -0.5])
+    value = benchmark(qaoa12.expectation, params)
+    assert np.isfinite(value)
+
+
+def test_bench_fista_solve(benchmark):
+    shape = (30, 60)
+    rng = np.random.default_rng(0)
+    indices = np.sort(rng.choice(1800, size=108, replace=False))
+    forward, adjoint = reconstruction_operators(shape, indices)
+    measurements = rng.normal(size=108)
+
+    def solve():
+        return fista_lasso(
+            forward, adjoint, measurements, shape, max_iterations=50,
+            tolerance=0.0,
+        )
+
+    result = benchmark(solve)
+    assert result.iterations == 50
+
+
+def test_bench_interpolation_query(benchmark, qaoa12):
+    grid = qaoa_grid(p=1, resolution=(20, 40))
+    truth = LandscapeGenerator(cost_function(qaoa12), grid).grid_search()
+    surrogate = InterpolatedLandscape(truth)
+    point = np.array([0.17, -0.42])
+    value = benchmark(surrogate, point)
+    assert np.isfinite(value)

@@ -1,0 +1,70 @@
+"""Table 1 — grid definitions, plus the grid-search vs OSCAR cost gap.
+
+Validates the paper's exact grid shapes (50x100 = 5k for p=1,
+12^2 x 15^2 = 32.4k for p=2) and times a dense grid search against an
+OSCAR reconstruction on a scaled p=1 grid so the circuit-execution
+asymmetry is visible as wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from _util import emit, format_table, once
+
+from repro.ansatz import QaoaAnsatz
+from repro.landscape import LandscapeGenerator, OscarReconstructor, cost_function, nrmse, qaoa_grid
+from repro.problems import random_3_regular_maxcut
+
+NUM_QUBITS = 12
+RESOLUTION = (30, 60)
+
+
+def test_table1_grid_definitions():
+    p1 = qaoa_grid(p=1)
+    p2 = qaoa_grid(p=2)
+    assert p1.shape == (50, 100) and p1.size == 5000
+    assert p2.shape == (12, 12, 15, 15) and p2.size == 32400
+    assert p1.axes[0].low == -math.pi / 4 and p1.axes[1].high == math.pi / 2
+    emit(
+        "table1_grids",
+        format_table(
+            ["depth", "beta range, #", "gamma range, #", "total points"],
+            [
+                ["p=1", "[-pi/4, pi/4], 50", "[-pi/2, pi/2], 100", p1.size],
+                ["p=2", "[-pi/8, pi/8], 12", "[-pi/4, pi/4], 15", p2.size],
+            ],
+        ),
+    )
+
+
+def test_bench_grid_search(benchmark):
+    problem = random_3_regular_maxcut(NUM_QUBITS, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=RESOLUTION)
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    truth = once(benchmark, generator.grid_search)
+    assert truth.circuit_executions == grid.size
+
+
+def test_bench_oscar_reconstruction(benchmark):
+    problem = random_3_regular_maxcut(NUM_QUBITS, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=RESOLUTION)
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    truth = generator.grid_search()
+    oscar = OscarReconstructor(grid, rng=0)
+    reconstruction, report = once(benchmark, oscar.reconstruct, generator, 0.06)
+    error = nrmse(truth.values, reconstruction.values)
+    emit(
+        "table1_cost_comparison",
+        format_table(
+            ["method", "circuit executions", "NRMSE"],
+            [
+                ["grid search", grid.size, 0.0],
+                ["OSCAR (6%)", report.num_samples, error],
+            ],
+        )
+        + [f"execution speedup: {report.speedup:.1f}x"],
+    )
+    assert error < 0.1

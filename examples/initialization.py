@@ -1,0 +1,93 @@
+"""Use case 3 (paper Sec. 8, Table 6): OSCAR-based initialization.
+
+Compares two ways of starting the regular VQA workflow:
+
+- random initialization (the common default), vs
+- minimising the interpolated OSCAR reconstruction (free queries) and
+  starting from that point.
+
+As in the paper's Table 6, the OSCAR-initialized gradient-based
+optimizer needs far fewer QPU queries to converge — and the
+reconstruction queries can all run in parallel, unlike the optimizer's
+inherently serial ones.
+
+Run with:  python examples/initialization.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Adam,
+    LandscapeGenerator,
+    OscarInitializer,
+    OscarReconstructor,
+    QaoaAnsatz,
+    cost_function,
+    qaoa_grid,
+    random_3_regular_maxcut,
+)
+from repro.initialization import random_initial_point
+from repro.optimizers import CountingObjective
+
+
+def main() -> None:
+    num_instances = 5
+    random_queries, oscar_queries, oscar_total = [], [], []
+    random_values, oscar_values = [], []
+
+    for instance in range(num_instances):
+        problem = random_3_regular_maxcut(10, seed=instance)
+        ansatz = QaoaAnsatz(problem, p=1)
+        grid = qaoa_grid(p=1, resolution=(20, 40))
+        generator = LandscapeGenerator(cost_function(ansatz), grid)
+
+        # Baseline: random start, circuit-executing ADAM.
+        rng = np.random.default_rng(instance + 100)
+        counting = CountingObjective(generator.evaluate_point)
+        baseline = Adam(maxiter=300).minimize(
+            counting, random_initial_point(grid.bounds, rng)
+        )
+        random_queries.append(counting.num_queries)
+        random_values.append(baseline.value)
+
+        # OSCAR: reconstruct, minimise the interpolation, refine.
+        initializer = OscarInitializer(
+            OscarReconstructor(grid, rng=instance),
+            Adam(maxiter=300),
+            sampling_fraction=0.08,
+            rng=instance,
+        )
+        outcome = initializer.choose(generator)
+        counting = CountingObjective(generator.evaluate_point)
+        refined = Adam(maxiter=300).minimize(counting, outcome.initial_point)
+        oscar_queries.append(counting.num_queries)
+        oscar_total.append(counting.num_queries + outcome.reconstruction_queries)
+        oscar_values.append(refined.value)
+
+    print(f"ADAM on {num_instances} depth-1 QAOA MaxCut instances (10 qubits)")
+    print(f"{'strategy':<28}{'QPU queries (mean)':>20}{'final cost (mean)':>20}")
+    print("-" * 68)
+    print(
+        f"{'random init':<28}{np.mean(random_queries):>20.0f}"
+        f"{np.mean(random_values):>20.4f}"
+    )
+    print(
+        f"{'OSCAR init (opt only)':<28}{np.mean(oscar_queries):>20.0f}"
+        f"{np.mean(oscar_values):>20.4f}"
+    )
+    print(
+        f"{'OSCAR init (opt + recon)':<28}{np.mean(oscar_total):>20.0f}"
+        f"{np.mean(oscar_values):>20.4f}"
+    )
+    print()
+    print(
+        "Note: the reconstruction queries are embarrassingly parallel "
+        "(paper Sec. 5),\nwhile the optimizer's queries are serial — so "
+        "the wall-clock advantage is even\nlarger than the query ratio."
+    )
+
+
+if __name__ == "__main__":
+    main()

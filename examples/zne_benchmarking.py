@@ -1,0 +1,70 @@
+"""Use case 1 (paper Sec. 6): benchmarking noise-mitigation configs.
+
+Compares Zero-Noise Extrapolation with Richardson {1,2,3} scaling vs
+linear {1,3} scaling on a noisy QAOA landscape — using OSCAR so the
+comparison costs a fraction of the dense grid searches.
+
+For each configuration the script reports the paper's three landscape
+metrics (D2 roughness, variance of gradient, variance) on the original
+and the OSCAR-reconstructed landscape, showing that the reconstruction
+preserves what you would conclude from the expensive ground truth:
+Richardson sharpens gradients but adds heavy jaggedness; linear stays
+smooth.
+
+Run with:  python examples/zne_benchmarking.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_mitigation_study
+from repro.viz import render_side_by_side
+
+
+def main() -> None:
+    landscapes, rows = run_mitigation_study(
+        num_qubits=10,
+        resolution=(20, 40),
+        shots=1024,
+        sampling_fraction=0.15,
+        seed=0,
+    )
+
+    print("landscape metrics (original vs OSCAR reconstruction)")
+    header = f"{'setting':<14}{'source':<15}{'D2':>10}{'VoG':>10}{'variance':>10}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row.setting:<14}{row.source:<15}"
+            f"{row.second_derivative:>10.3f}"
+            f"{row.variance_of_gradient:>10.4f}"
+            f"{row.variance:>10.4f}"
+        )
+
+    print()
+    print(
+        "reconstruction NRMSE per setting:",
+        {k: round(v, 3) for k, v in landscapes.reconstruction_nrmse.items()},
+    )
+    print()
+    print("Richardson (left) vs linear (right) — original landscapes:")
+    print(
+        render_side_by_side(
+            landscapes.original["richardson"],
+            landscapes.original["linear"],
+            max_rows=12,
+            max_cols=30,
+            titles=("Richardson {1,2,3}", "Linear {1,3}"),
+        )
+    )
+    print()
+    print(
+        "Takeaway: Richardson's extrapolation weights [3, -3, 1] amplify "
+        "shot noise ~4.4x\n(sqrt(19)), producing the salt-like roughness "
+        "visible in D2 — pick linear\nextrapolation when a gradient-based "
+        "optimizer will run on the result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Ansatz library: the parametric circuits the paper evaluates.
+
+- :class:`~repro.ansatz.qaoa.QaoaAnsatz` — QAOA with a diagonal-cost
+  fast path (the paper's primary workload),
+- :class:`~repro.ansatz.twolocal.TwoLocalAnsatz` — hardware-efficient
+  RY/CZ ansatz,
+- :class:`~repro.ansatz.uccsd.UccsdAnsatz` — Trotterised UCCSD-style
+  chemistry ansatz.
+"""
+
+from .base import Ansatz
+from .qaoa import QaoaAnsatz
+from .twolocal import TwoLocalAnsatz
+from .uccsd import UccsdAnsatz, default_excitations
+
+__all__ = ["Ansatz", "QaoaAnsatz", "TwoLocalAnsatz", "UccsdAnsatz", "default_excitations"]

@@ -1,0 +1,69 @@
+"""Common interface for parameterized ansatz circuits.
+
+An :class:`Ansatz` couples a parametric circuit factory with the
+observable whose expectation defines the cost function.  The landscape
+layer only ever talks to this interface, so QAOA (diagonal cost, fast
+path) and VQE-style ansatzes (Pauli-sum cost) are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..quantum.circuit import QuantumCircuit
+from ..quantum.noise import NoiseModel
+from ..quantum.statevector import Statevector
+
+__all__ = ["Ansatz"]
+
+
+class Ansatz(abc.ABC):
+    """A parametric circuit plus the cost observable it is scored by."""
+
+    #: number of free circuit parameters
+    num_parameters: int
+    #: circuit width
+    num_qubits: int
+
+    @abc.abstractmethod
+    def circuit(self, parameters: Sequence[float]) -> QuantumCircuit:
+        """The bound circuit for concrete parameter values."""
+
+    @abc.abstractmethod
+    def expectation(
+        self,
+        parameters: Sequence[float],
+        noise: NoiseModel | None = None,
+        shots: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Cost-function value at ``parameters``.
+
+        Args:
+            parameters: flat parameter vector of length
+                :attr:`num_parameters`.
+            noise: optional noise model; ``None`` means ideal execution.
+            shots: if given, add measurement shot noise with this many
+                shots; ``None`` returns the exact expectation.
+            rng: random generator for shot/trajectory sampling.
+        """
+
+    def parameter_names(self) -> list[str]:
+        """Stable display names for the parameters (default: p0..pk)."""
+        return [f"p{i}" for i in range(self.num_parameters)]
+
+    def statevector(self, parameters: Sequence[float]) -> Statevector:
+        """The exact output state (default: simulate the circuit)."""
+        return Statevector(self.num_qubits).evolve(self.circuit(parameters))
+
+    def _validate(self, parameters: Sequence[float]) -> np.ndarray:
+        values = np.asarray(parameters, dtype=float).reshape(-1)
+        if values.shape[0] != self.num_parameters:
+            raise ValueError(
+                f"{type(self).__name__} expects {self.num_parameters} "
+                f"parameters, got {values.shape[0]}"
+            )
+        return values

@@ -1,0 +1,230 @@
+"""Command-line interface: quick OSCAR demos from the terminal.
+
+``oscar-repro`` exposes the library's headline flows without writing
+code:
+
+- ``oscar-repro reconstruct`` — reconstruct a QAOA MaxCut landscape and
+  print the NRMSE, speedup and an ASCII side-by-side view;
+- ``oscar-repro sycamore`` — reconstruct a synthetic Sycamore landscape;
+- ``oscar-repro speedup`` — run the headline speedup measurement;
+- ``oscar-repro sparsity`` — print DCT sparsity for a problem family.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .ansatz import QaoaAnsatz
+from .datasets import sycamore_landscape
+from .experiments.speedup import measure_speedup
+from .landscape import (
+    LandscapeGenerator,
+    OscarReconstructor,
+    cost_function,
+    nrmse,
+    qaoa_grid,
+)
+from .problems import random_3_regular_maxcut, sk_problem
+from .quantum import NoiseModel
+from .viz import render_side_by_side
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="oscar-repro",
+        description="OSCAR compressed-sensing VQA landscape reconstruction demos",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    recon = sub.add_parser("reconstruct", help="reconstruct a QAOA landscape")
+    recon.add_argument("--qubits", type=int, default=10)
+    recon.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
+    recon.add_argument("--fraction", type=float, default=0.06)
+    recon.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
+    recon.add_argument("--noisy", action="store_true", help="add depolarizing noise")
+    recon.add_argument("--seed", type=int, default=0)
+    recon.add_argument("--render", action="store_true", help="print ASCII heatmaps")
+
+    syc = sub.add_parser("sycamore", help="reconstruct a synthetic Sycamore landscape")
+    syc.add_argument("--kind", choices=("mesh", "3-regular", "sk"), default="sk")
+    syc.add_argument("--fraction", type=float, default=0.41)
+    syc.add_argument("--seed", type=int, default=0)
+    syc.add_argument("--render", action="store_true")
+
+    speed = sub.add_parser("speedup", help="measure the headline speedup")
+    speed.add_argument("--qubits", type=int, default=10)
+    speed.add_argument("--target-nrmse", type=float, default=0.05)
+    speed.add_argument("--seed", type=int, default=0)
+
+    sparse = sub.add_parser("sparsity", help="DCT sparsity of a landscape")
+    sparse.add_argument("--qubits", type=int, default=10)
+    sparse.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
+    sparse.add_argument("--seed", type=int, default=0)
+
+    adaptive = sub.add_parser(
+        "adaptive", help="reconstruct with automatically chosen sampling fraction"
+    )
+    adaptive.add_argument("--qubits", type=int, default=10)
+    adaptive.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
+    adaptive.add_argument("--target-error", type=float, default=0.1)
+    adaptive.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
+    adaptive.add_argument("--seed", type=int, default=0)
+
+    analyze = sub.add_parser(
+        "analyze", help="landscape analysis: plateaus, local minima, symmetry"
+    )
+    analyze.add_argument("--qubits", type=int, default=10)
+    analyze.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
+    analyze.add_argument("--fraction", type=float, default=0.08)
+    analyze.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
+    analyze.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _problem(kind: str, qubits: int, seed: int):
+    if kind == "maxcut":
+        return random_3_regular_maxcut(qubits, seed=seed)
+    return sk_problem(qubits, seed=seed)
+
+
+def _command_reconstruct(args: argparse.Namespace) -> int:
+    problem = _problem(args.problem, args.qubits, args.seed)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
+    noise = NoiseModel(p1=0.003, p2=0.007) if args.noisy else None
+    generator = LandscapeGenerator(cost_function(ansatz, noise=noise), grid)
+    truth = generator.grid_search(label="grid-search")
+    oscar = OscarReconstructor(grid, rng=args.seed)
+    reconstruction, report = oscar.reconstruct(generator, args.fraction)
+    print(f"problem: {problem.name}  grid: {grid.shape} ({grid.size} points)")
+    print(
+        f"samples: {report.num_samples} ({100 * report.sampling_fraction:.1f}%)  "
+        f"speedup: {report.speedup:.1f}x  NRMSE: "
+        f"{nrmse(truth.values, reconstruction.values):.4f}"
+    )
+    if args.render:
+        print(render_side_by_side(truth, reconstruction))
+    return 0
+
+
+def _command_sycamore(args: argparse.Namespace) -> int:
+    hardware, _ = sycamore_landscape(args.kind, seed=args.seed)
+    oscar = OscarReconstructor(hardware.grid, rng=args.seed)
+    indices = oscar.sample_indices(args.fraction)
+    reconstruction, report = oscar.reconstruct_from_samples(
+        indices, hardware.flat()[indices]
+    )
+    print(
+        f"sycamore-{args.kind}: {report.num_samples} samples "
+        f"({100 * report.sampling_fraction:.0f}%)  NRMSE: "
+        f"{nrmse(hardware.values, reconstruction.values):.4f}"
+    )
+    if args.render:
+        print(render_side_by_side(hardware, reconstruction))
+    return 0
+
+
+def _command_speedup(args: argparse.Namespace) -> int:
+    result = measure_speedup(
+        num_qubits=args.qubits, target_nrmse=args.target_nrmse, seed=args.seed
+    )
+    print(
+        f"grid: {result.grid_executions} executions  "
+        f"oscar: {result.oscar_executions} executions  "
+        f"speedup: {result.speedup:.1f}x at NRMSE {result.achieved_nrmse:.4f} "
+        f"(target {result.target_nrmse})"
+    )
+    return 0
+
+
+def _command_sparsity(args: argparse.Namespace) -> int:
+    problem = _problem(args.problem, args.qubits, args.seed)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=(30, 60))
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    truth = generator.grid_search()
+    fraction = truth.dct_sparsity()
+    print(
+        f"{problem.name}: {100 * fraction:.4f}% of DCT coefficients hold "
+        "99% of the landscape energy"
+    )
+    return 0
+
+
+def _command_adaptive(args: argparse.Namespace) -> int:
+    from .landscape import AdaptiveConfig, adaptive_reconstruct
+
+    problem = _problem(args.problem, args.qubits, args.seed)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    oscar = OscarReconstructor(grid, rng=args.seed)
+    outcome = adaptive_reconstruct(
+        oscar, generator, AdaptiveConfig(target_error=args.target_error)
+    )
+    for round_index, (fraction, estimate) in enumerate(
+        zip(outcome.fractions, outcome.error_estimates)
+    ):
+        print(
+            f"round {round_index}: fraction {100 * fraction:5.1f}%  "
+            f"holdout error estimate {estimate:.4f}"
+        )
+    status = "met" if outcome.met_target else "NOT met (fraction cap)"
+    print(
+        f"target {args.target_error} {status} with "
+        f"{outcome.report.num_samples} circuit executions "
+        f"({outcome.report.speedup:.1f}x cheaper than grid search)"
+    )
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    from .landscape import (
+        barren_plateau_fraction,
+        find_local_minima,
+        time_reversal_symmetry_error,
+    )
+
+    problem = _problem(args.problem, args.qubits, args.seed)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    oscar = OscarReconstructor(grid, rng=args.seed)
+    landscape, report = oscar.reconstruct(generator, args.fraction)
+    minima = find_local_minima(landscape)
+    print(f"landscape from {report.num_samples} samples ({report.speedup:.1f}x speedup)")
+    print(f"barren-plateau fraction: {100 * barren_plateau_fraction(landscape):.1f}%")
+    print(f"local minima: {len(minima)} (best {minima[0][1]:+.4f})")
+    print(
+        f"time-reversal symmetry error: "
+        f"{time_reversal_symmetry_error(landscape):.4f} "
+        "(should be ~0 for a healthy QAOA landscape)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "reconstruct": _command_reconstruct,
+    "sycamore": _command_sycamore,
+    "speedup": _command_speedup,
+    "sparsity": _command_sparsity,
+    "adaptive": _command_adaptive,
+    "analyze": _command_analyze,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

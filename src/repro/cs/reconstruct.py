@@ -1,0 +1,153 @@
+"""Signal reconstruction from partial grid samples.
+
+This module connects the DCT basis and the sparse solvers into the
+operation OSCAR performs: given the values of a landscape at a small set
+of grid indices, recover the full landscape.
+
+The synthesis operator is the orthonormal inverse DCT; the measurement
+operator restricts the synthesised signal to the sampled flat indices.
+Because the basis is orthonormal, the adjoint embeds the residual at the
+sampled indices and applies the forward DCT — both matrix-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dct import BASES, dct_basis_matrix, inverse_transform, transform
+from .solvers import SolverResult, basis_pursuit_linprog, fista_lasso, omp
+
+__all__ = ["ReconstructionConfig", "reconstruct_signal", "reconstruction_operators"]
+
+
+@dataclass(frozen=True)
+class ReconstructionConfig:
+    """Knobs of the CS reconstruction.
+
+    Attributes:
+        solver: ``"fista"`` (default), ``"omp"`` or ``"bp"``.
+        lam: L1 penalty for FISTA; ``None`` = auto heuristic.
+        max_iterations: FISTA iteration cap.
+        tolerance: FISTA relative-change stopping tolerance.
+        max_atoms: OMP atom cap; ``None`` = measurements // 4.
+        basis: sparsifying basis, ``"dct"`` (paper default) or ``"dst"``
+            (the basis-choice ablation).
+    """
+
+    solver: str = "fista"
+    lam: float | None = None
+    max_iterations: int = 400
+    tolerance: float = 1e-6
+    max_atoms: int | None = None
+    basis: str = "dct"
+
+    def __post_init__(self) -> None:
+        if self.basis not in BASES:
+            raise ValueError(f"unknown basis {self.basis!r}; choose from {BASES}")
+
+
+def reconstruction_operators(
+    shape: tuple[int, ...], flat_indices: np.ndarray, basis: str = "dct"
+):
+    """Build the matrix-free ``A`` and ``A^T`` for a sampled grid.
+
+    Returns:
+        ``(forward, adjoint)`` where ``forward`` maps a coefficient
+        array of ``shape`` to the sampled values and ``adjoint`` maps a
+        sample vector back to coefficient space.
+    """
+    flat_indices = np.asarray(flat_indices, dtype=int)
+    size = int(np.prod(shape))
+    if flat_indices.size == 0:
+        raise ValueError("need at least one sample index")
+    if flat_indices.min() < 0 or flat_indices.max() >= size:
+        raise ValueError("sample index out of range for grid shape")
+
+    def forward(coefficients: np.ndarray) -> np.ndarray:
+        signal = inverse_transform(coefficients.reshape(shape), basis)
+        return signal.reshape(-1)[flat_indices]
+
+    def adjoint(residual: np.ndarray) -> np.ndarray:
+        embedded = np.zeros(size)
+        embedded[flat_indices] = residual
+        return transform(embedded.reshape(shape), basis)
+
+    return forward, adjoint
+
+
+def reconstruct_signal(
+    shape: tuple[int, ...],
+    flat_indices: np.ndarray,
+    values: np.ndarray,
+    config: ReconstructionConfig | None = None,
+) -> tuple[np.ndarray, SolverResult]:
+    """Recover a full signal from samples at ``flat_indices``.
+
+    Args:
+        shape: full grid shape of the signal.
+        flat_indices: sampled positions (flat, row-major).
+        values: measured signal values at those positions.
+        config: solver configuration.
+
+    Returns:
+        ``(signal, solver_result)`` — the reconstructed array of
+        ``shape`` and the solver diagnostics.
+    """
+    config = config or ReconstructionConfig()
+    flat_indices = np.asarray(flat_indices, dtype=int)
+    values = np.asarray(values, dtype=float).reshape(-1)
+    if flat_indices.shape[0] != values.shape[0]:
+        raise ValueError("indices and values must have matching lengths")
+    forward, adjoint = reconstruction_operators(shape, flat_indices, config.basis)
+    if config.solver == "fista":
+        result = fista_lasso(
+            forward,
+            adjoint,
+            values,
+            shape,
+            lam=config.lam,
+            max_iterations=config.max_iterations,
+            tolerance=config.tolerance,
+        )
+    elif config.solver == "omp":
+        result = omp(
+            forward,
+            adjoint,
+            values,
+            shape,
+            max_atoms=config.max_atoms,
+        )
+    elif config.solver == "bp":
+        if config.basis != "dct":
+            raise ValueError("basis pursuit path only supports the DCT basis")
+        result = _solve_basis_pursuit(shape, flat_indices, values)
+    else:
+        raise ValueError(f"unknown solver {config.solver!r}")
+    signal = inverse_transform(result.coefficients.reshape(shape), config.basis)
+    return signal, result
+
+
+def _solve_basis_pursuit(
+    shape: tuple[int, ...], flat_indices: np.ndarray, values: np.ndarray
+) -> SolverResult:
+    """Dense basis-pursuit path (small grids only)."""
+    size = int(np.prod(shape))
+    if size > 4096:
+        raise ValueError(
+            "basis pursuit materialises the dense sensing matrix; "
+            f"grid of {size} points is too large (limit 4096)"
+        )
+    # Dense synthesis matrix for the N-D separable DCT via Kronecker.
+    synthesis = np.array([[1.0]])
+    for length in shape:
+        synthesis = np.kron(synthesis, dct_basis_matrix(length))
+    sensing = synthesis[flat_indices, :]
+    result = basis_pursuit_linprog(sensing, values)
+    return SolverResult(
+        result.coefficients.reshape(shape),
+        result.iterations,
+        result.converged,
+        result.objective,
+    )

@@ -1,0 +1,67 @@
+"""Random grid-point samplers for OSCAR's parameter-sampling phase.
+
+The paper samples circuit parameters "randomly and uniformly from the
+entire parameter space" over the grid.  We implement that scheme plus a
+stratified variant (used in the ablation study) that spreads samples
+more evenly, and helpers to convert between flat indices, grid indices
+and physical parameter values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sample_count_for_fraction",
+    "uniform_random_indices",
+    "stratified_indices",
+    "flat_to_grid_indices",
+]
+
+
+def sample_count_for_fraction(grid_size: int, fraction: float) -> int:
+    """Number of samples for a target sampling fraction (at least 1)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("sampling fraction must be in (0, 1]")
+    return max(1, int(round(fraction * grid_size)))
+
+
+def uniform_random_indices(
+    grid_size: int,
+    fraction: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Uniformly random distinct flat indices (the paper's scheme)."""
+    rng = rng or np.random.default_rng()
+    count = sample_count_for_fraction(grid_size, fraction)
+    return np.sort(rng.choice(grid_size, size=count, replace=False))
+
+
+def stratified_indices(
+    grid_size: int,
+    fraction: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Stratified sampler: one uniform draw per equal-width stratum.
+
+    Divides ``[0, grid_size)`` into ``count`` contiguous strata and
+    samples one point in each, guaranteeing coverage of the whole grid.
+    Used by the sampling-scheme ablation benchmark.
+    """
+    rng = rng or np.random.default_rng()
+    count = sample_count_for_fraction(grid_size, fraction)
+    boundaries = np.linspace(0, grid_size, count + 1)
+    indices = []
+    for low, high in zip(boundaries[:-1], boundaries[1:]):
+        low_i, high_i = int(np.floor(low)), max(int(np.floor(low)) + 1, int(np.ceil(high)))
+        high_i = min(high_i, grid_size)
+        indices.append(int(rng.integers(low_i, high_i)))
+    return np.unique(np.asarray(indices, dtype=int))
+
+
+def flat_to_grid_indices(
+    flat_indices: np.ndarray, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Convert flat indices to an ``(m, ndim)`` array of grid indices."""
+    unraveled = np.unravel_index(np.asarray(flat_indices, dtype=int), shape)
+    return np.stack(unraveled, axis=1)

@@ -1,0 +1,9 @@
+"""Datasets: synthetic hardware landscapes.
+
+:mod:`~repro.datasets.sycamore` generates Google-Sycamore-like 50x50
+QAOA landscapes (mesh / 3-regular / SK) for the Fig. 5-6 experiments.
+"""
+
+from .sycamore import SYCAMORE_PROBLEMS, SycamoreConfig, sycamore_landscape
+
+__all__ = ["SYCAMORE_PROBLEMS", "SycamoreConfig", "sycamore_landscape"]

@@ -1,0 +1,91 @@
+"""Two-parameter landscape slices of high-dimensional ansatzes.
+
+Tables 2-4 of the paper evaluate reconstruction on ansatzes with 3-8
+parameters.  Because dense grids are exponential in dimension, the
+paper "evaluate[s] the reconstruction accuracy by randomly selecting
+two varying parameters, fixing the rest to random values".  This module
+implements that protocol: build a 2-D :class:`~repro.landscape.grid.ParameterGrid`
+over a random pair of parameters and close over the ansatz with the
+remaining parameters frozen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ansatz.base import Ansatz
+from ..landscape.generator import LandscapeGenerator
+from ..landscape.grid import GridAxis, ParameterGrid
+from ..quantum.noise import NoiseModel
+
+__all__ = ["SliceSpec", "random_slice", "slice_generator"]
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """A 2-D slice through an ansatz's parameter space.
+
+    Attributes:
+        varying: the two parameter indices that form the grid axes.
+        fixed_values: full-length parameter vector supplying the frozen
+            coordinates (the varying two are overwritten per query).
+        grid: the 2-D grid over the varying parameters.
+    """
+
+    varying: tuple[int, int]
+    fixed_values: np.ndarray
+    grid: ParameterGrid
+
+
+def random_slice(
+    ansatz: Ansatz,
+    points_per_axis: int,
+    parameter_range: tuple[float, float] = (-np.pi, np.pi),
+    rng: np.random.Generator | None = None,
+) -> SliceSpec:
+    """Draw a random 2-parameter slice (the Tables 2-3 protocol).
+
+    Args:
+        ansatz: the ansatz being sliced.
+        points_per_axis: equidistant samples per varying parameter
+            (7 or 14 in the paper's tables).
+        parameter_range: range for both the grid axes and the random
+            frozen values.
+        rng: random generator.
+    """
+    rng = rng or np.random.default_rng()
+    if ansatz.num_parameters < 2:
+        raise ValueError("slicing needs an ansatz with at least two parameters")
+    low, high = parameter_range
+    varying = tuple(
+        sorted(rng.choice(ansatz.num_parameters, size=2, replace=False).tolist())
+    )
+    fixed_values = rng.uniform(low, high, size=ansatz.num_parameters)
+    names = ansatz.parameter_names()
+    grid = ParameterGrid(
+        [
+            GridAxis(names[varying[0]], low, high, points_per_axis),
+            GridAxis(names[varying[1]], low, high, points_per_axis),
+        ]
+    )
+    return SliceSpec(varying=varying, fixed_values=fixed_values, grid=grid)
+
+
+def slice_generator(
+    ansatz: Ansatz,
+    spec: SliceSpec,
+    noise: NoiseModel | None = None,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> LandscapeGenerator:
+    """A :class:`LandscapeGenerator` over the slice's 2-D grid."""
+
+    def evaluate(slice_point: np.ndarray) -> float:
+        full = spec.fixed_values.copy()
+        full[spec.varying[0]] = slice_point[0]
+        full[spec.varying[1]] = slice_point[1]
+        return ansatz.expectation(full, noise=noise, shots=shots, rng=rng)
+
+    return LandscapeGenerator(evaluate, spec.grid)

@@ -1,0 +1,15 @@
+"""Simulated hardware: noise-configured QPUs, pools, latency models.
+
+- :class:`~repro.hardware.qpu.SimulatedQPU` — one device (noise + shots
+  + latency),
+- :class:`~repro.hardware.qpu.QpuPool` — multi-device job distribution,
+- :class:`~repro.hardware.latency.LatencyModel` — heavy-tailed job
+  latency (queuing + execution + Pareto tail),
+- :data:`~repro.hardware.qpu.DEVICE_PROFILES` — named noise profiles
+  ("ibm-lagos", "ibm-perth", "noisy-sim-i/ii", "ideal-sim").
+"""
+
+from .latency import LatencyModel
+from .qpu import DEVICE_PROFILES, QpuPool, SimulatedQPU, device_profile
+
+__all__ = ["LatencyModel", "DEVICE_PROFILES", "QpuPool", "SimulatedQPU", "device_profile"]

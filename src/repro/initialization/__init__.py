@@ -1,0 +1,19 @@
+"""Optimizer initialization via OSCAR (paper Sec. 8).
+
+Instead of starting the VQA training loop at a random point, run an
+optimizer *on the interpolated reconstructed landscape* (free queries)
+and hand its converged point to the real workflow as the initial point.
+The paper shows this cuts ADAM's QPU queries by ~5x even after paying
+the reconstruction cost (Table 6).
+"""
+
+from .initializer import InitializationOutcome, OscarInitializer, random_initial_point
+from .transfer import TransferOutcome, transfer_initial_point
+
+__all__ = [
+    "InitializationOutcome",
+    "OscarInitializer",
+    "random_initial_point",
+    "TransferOutcome",
+    "transfer_initial_point",
+]

@@ -1,0 +1,90 @@
+"""Landscape layer: grids, containers, generation, reconstruction, metrics.
+
+This is the public core of the library:
+
+- :class:`~repro.landscape.grid.ParameterGrid` / :func:`~repro.landscape.grid.qaoa_grid`,
+- :class:`~repro.landscape.landscape.Landscape`,
+- :class:`~repro.landscape.generator.LandscapeGenerator` (grid-search baseline),
+- :class:`~repro.landscape.reconstructor.OscarReconstructor` (the paper's method),
+- :class:`~repro.landscape.interpolate.InterpolatedLandscape`,
+- :mod:`~repro.landscape.metrics` (NRMSE, D2, VoG, variance, DCT sparsity).
+"""
+
+from .adaptive import (
+    AdaptiveConfig,
+    AdaptiveOutcome,
+    adaptive_reconstruct,
+    holdout_error_estimate,
+)
+from .analysis import (
+    ConvergenceReport,
+    InitialPointReport,
+    barren_plateau_fraction,
+    basin_labels,
+    basin_of,
+    check_convergence,
+    find_local_minima,
+    gradient_field,
+    gradient_magnitudes,
+    initial_point_quality,
+)
+from .compare import LandscapeComparison, compare_landscapes
+from .generator import LandscapeGenerator, cost_function
+from .grid import GridAxis, ParameterGrid, qaoa_grid
+from .interpolate import InterpolatedLandscape
+from .landscape import Landscape
+from .metrics import (
+    dct_sparsity,
+    landscape_variance,
+    nrmse,
+    second_derivative,
+    variance_of_gradient,
+)
+from .reconstructor import OscarReconstructor, ReconstructionReport
+from .symmetry import (
+    half_grid_indices,
+    is_centrosymmetric_grid,
+    mirror_flat_index,
+    mirror_samples,
+    symmetrize,
+    time_reversal_symmetry_error,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveOutcome",
+    "adaptive_reconstruct",
+    "holdout_error_estimate",
+    "LandscapeComparison",
+    "compare_landscapes",
+    "ConvergenceReport",
+    "InitialPointReport",
+    "barren_plateau_fraction",
+    "basin_labels",
+    "basin_of",
+    "check_convergence",
+    "find_local_minima",
+    "gradient_field",
+    "gradient_magnitudes",
+    "initial_point_quality",
+    "LandscapeGenerator",
+    "cost_function",
+    "GridAxis",
+    "ParameterGrid",
+    "qaoa_grid",
+    "InterpolatedLandscape",
+    "Landscape",
+    "dct_sparsity",
+    "landscape_variance",
+    "nrmse",
+    "second_derivative",
+    "variance_of_gradient",
+    "OscarReconstructor",
+    "ReconstructionReport",
+    "half_grid_indices",
+    "is_centrosymmetric_grid",
+    "mirror_flat_index",
+    "mirror_samples",
+    "symmetrize",
+    "time_reversal_symmetry_error",
+]

@@ -1,0 +1,101 @@
+"""Landscape comparison reports.
+
+Debugging with OSCAR constantly answers "how similar are these two
+landscapes?" — reconstruction vs truth, device A vs device B, mitigated
+vs unmitigated.  :func:`compare_landscapes` bundles every similarity
+statistic the paper uses into one report: NRMSE (Eq. 1), pointwise
+correlation (the Fig. 5 "perceptually identical" proxy), the three
+shape metrics side by side (Fig. 10), and optimum agreement (basin
+distance between the two argmins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import metrics as _metrics
+from .landscape import Landscape
+
+__all__ = ["LandscapeComparison", "compare_landscapes"]
+
+
+@dataclass(frozen=True)
+class LandscapeComparison:
+    """Similarity report between a reference and a candidate landscape.
+
+    Attributes:
+        nrmse: Eq. 1 error of the candidate against the reference.
+        correlation: Pearson correlation of the flattened values.
+        minimum_distance: parameter-space distance between the two
+            argmin grid points.
+        minimum_value_gap: reference cost at the candidate's argmin
+            minus the reference's own minimum (0 = same basin floor).
+        d2_ratio: candidate / reference second-derivative roughness.
+        vog_ratio: candidate / reference variance-of-gradient.
+        variance_ratio: candidate / reference value variance.
+    """
+
+    nrmse: float
+    correlation: float
+    minimum_distance: float
+    minimum_value_gap: float
+    d2_ratio: float
+    vog_ratio: float
+    variance_ratio: float
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"NRMSE {self.nrmse:.4f}, correlation {self.correlation:.3f}; "
+            f"argmin distance {self.minimum_distance:.3f} "
+            f"(value gap {self.minimum_value_gap:+.4f}); "
+            f"metric ratios D2 {self.d2_ratio:.2f}, VoG {self.vog_ratio:.2f}, "
+            f"variance {self.variance_ratio:.2f}"
+        )
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    if abs(denominator) < 1e-300:
+        return float("inf") if abs(numerator) > 1e-300 else 1.0
+    return numerator / denominator
+
+
+def compare_landscapes(reference: Landscape, candidate: Landscape) -> LandscapeComparison:
+    """Full similarity report of ``candidate`` against ``reference``.
+
+    Both landscapes must share a grid shape (they normally share the
+    grid object itself).
+    """
+    if reference.values.shape != candidate.values.shape:
+        raise ValueError(
+            f"landscape shapes differ: {reference.values.shape} vs "
+            f"{candidate.values.shape}"
+        )
+    ref_flat = reference.flat()
+    cand_flat = candidate.flat()
+    if np.std(ref_flat) > 0 and np.std(cand_flat) > 0:
+        correlation = float(np.corrcoef(ref_flat, cand_flat)[0, 1])
+    else:
+        correlation = 1.0 if np.allclose(ref_flat, cand_flat) else 0.0
+    ref_min_value, ref_min_point = reference.minimum()
+    _, cand_min_point = candidate.minimum()
+    return LandscapeComparison(
+        nrmse=_metrics.nrmse(reference.values, candidate.values),
+        correlation=correlation,
+        minimum_distance=float(np.linalg.norm(ref_min_point - cand_min_point)),
+        minimum_value_gap=float(reference.value_at(cand_min_point) - ref_min_value),
+        d2_ratio=_safe_ratio(
+            _metrics.second_derivative(candidate.values),
+            _metrics.second_derivative(reference.values),
+        ),
+        vog_ratio=_safe_ratio(
+            _metrics.variance_of_gradient(candidate.values),
+            _metrics.variance_of_gradient(reference.values),
+        ),
+        variance_ratio=_safe_ratio(
+            _metrics.landscape_variance(candidate.values),
+            _metrics.landscape_variance(reference.values),
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Landscape generation: grid search (ground truth) and point sampling.
+
+:class:`LandscapeGenerator` evaluates a cost function over a
+:class:`~repro.landscape.grid.ParameterGrid`.  The cost function is any
+callable ``parameters -> float`` — typically a closure over an
+:class:`~repro.ansatz.base.Ansatz` with a fixed noise/shots setting, for
+which :func:`cost_function` is the standard factory.
+
+Grid search is what the paper calls the expensive baseline (5k-32k
+circuit executions per landscape, Table 1); ``evaluate_indices`` is the
+cheap path OSCAR uses (a few percent of the grid).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..ansatz.base import Ansatz
+from ..quantum.noise import NoiseModel
+from .grid import ParameterGrid
+from .landscape import Landscape
+
+__all__ = ["LandscapeGenerator", "cost_function"]
+
+CostFunction = Callable[[np.ndarray], float]
+
+
+def cost_function(
+    ansatz: Ansatz,
+    noise: NoiseModel | None = None,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> CostFunction:
+    """Bind an ansatz and execution settings into a plain callable."""
+
+    def evaluate(parameters: np.ndarray) -> float:
+        return ansatz.expectation(parameters, noise=noise, shots=shots, rng=rng)
+
+    return evaluate
+
+
+class LandscapeGenerator:
+    """Evaluates a cost function on grid points."""
+
+    def __init__(self, function: CostFunction, grid: ParameterGrid):
+        self.function = function
+        self.grid = grid
+
+    def grid_search(self, label: str = "ground-truth") -> Landscape:
+        """Dense evaluation of every grid point (the expensive baseline)."""
+        values = np.empty(self.grid.size)
+        for flat_index, parameters in self.grid.iter_points():
+            values[flat_index] = self.function(parameters)
+        return Landscape(
+            self.grid,
+            values.reshape(self.grid.shape),
+            label=label,
+            circuit_executions=self.grid.size,
+        )
+
+    def evaluate_indices(self, flat_indices: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Cost values at a subset of grid points (OSCAR's sampling)."""
+        flat_indices = np.asarray(flat_indices, dtype=int)
+        points = self.grid.points_from_flat(flat_indices)
+        return np.array([self.function(point) for point in points])
+
+    def evaluate_point(self, parameters: np.ndarray) -> float:
+        """Cost at an arbitrary (off-grid) parameter vector."""
+        return self.function(np.asarray(parameters, dtype=float))

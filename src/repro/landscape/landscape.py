@@ -1,0 +1,142 @@
+"""The :class:`Landscape` container.
+
+A landscape is a dense array of cost values over a
+:class:`~repro.landscape.grid.ParameterGrid`, plus provenance metadata
+(how it was produced, at what cost).  It is the unit every other part
+of the library exchanges: generators produce it, OSCAR reconstructs it,
+metrics/interpolation/optimizers consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from . import metrics as _metrics
+from .grid import GridAxis, ParameterGrid
+
+__all__ = ["Landscape"]
+
+
+@dataclass
+class Landscape:
+    """Dense cost values over a parameter grid.
+
+    Attributes:
+        grid: the parameter grid the values live on.
+        values: cost array with shape ``grid.shape``.
+        label: provenance tag ("ground-truth", "oscar-recon", ...).
+        circuit_executions: number of circuit evaluations spent
+            producing it (grid size for grid search, sample count for
+            OSCAR) — the paper's speedup metric is a ratio of these.
+    """
+
+    grid: ParameterGrid
+    values: np.ndarray
+    label: str = "landscape"
+    circuit_executions: int = 0
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.shape != self.grid.shape:
+            raise ValueError(
+                f"values shape {self.values.shape} does not match grid "
+                f"shape {self.grid.shape}"
+            )
+
+    # -- views -------------------------------------------------------------
+
+    def flat(self) -> np.ndarray:
+        """Row-major flattened values."""
+        return self.values.reshape(-1)
+
+    def reshaped_2d(self) -> np.ndarray:
+        """Values under the paper's high-dim -> 2-D concatenation."""
+        return self.values.reshape(self.grid.reshaped_2d_shape())
+
+    def minimum(self) -> tuple[float, np.ndarray]:
+        """``(min value, parameter vector at the minimum grid point)``."""
+        flat_index = int(np.argmin(self.values))
+        return float(self.flat()[flat_index]), self.grid.point_from_flat(flat_index)
+
+    def maximum(self) -> tuple[float, np.ndarray]:
+        """``(max value, parameter vector at the maximum grid point)``."""
+        flat_index = int(np.argmax(self.values))
+        return float(self.flat()[flat_index]), self.grid.point_from_flat(flat_index)
+
+    def value_at(self, parameters: np.ndarray) -> float:
+        """Value at the nearest grid point to a parameter vector."""
+        return float(self.flat()[self.grid.nearest_flat_index(parameters)])
+
+    # -- metrics -------------------------------------------------------------
+
+    def nrmse_against(self, reference: "Landscape") -> float:
+        """NRMSE of this landscape against a reference (true) one."""
+        return _metrics.nrmse(reference.values, self.values)
+
+    def second_derivative(self) -> float:
+        """Roughness D2 (paper Eq. 2)."""
+        return _metrics.second_derivative(self.values)
+
+    def variance_of_gradient(self) -> float:
+        """Flatness VoG (paper Eq. 3)."""
+        return _metrics.variance_of_gradient(self.values)
+
+    def variance(self) -> float:
+        """Value variance (paper Eq. 4)."""
+        return _metrics.landscape_variance(self.values)
+
+    def dct_sparsity(self, energy_fraction: float = 0.99) -> float:
+        """Fraction of DCT coefficients carrying the energy share."""
+        return _metrics.dct_sparsity(self.values, energy_fraction)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialise to ``.npz`` (values + axis definitions + metadata)."""
+        path = Path(path)
+        axis_names = [axis.name for axis in self.grid.axes]
+        axis_lows = [axis.low for axis in self.grid.axes]
+        axis_highs = [axis.high for axis in self.grid.axes]
+        axis_points = [axis.num_points for axis in self.grid.axes]
+        np.savez_compressed(
+            path,
+            values=self.values,
+            axis_names=np.array(axis_names),
+            axis_lows=np.array(axis_lows),
+            axis_highs=np.array(axis_highs),
+            axis_points=np.array(axis_points),
+            label=np.array(self.label),
+            circuit_executions=np.array(self.circuit_executions),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Landscape":
+        """Deserialise from :meth:`save` output."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            axes = [
+                GridAxis(str(name), float(low), float(high), int(points))
+                for name, low, high, points in zip(
+                    data["axis_names"],
+                    data["axis_lows"],
+                    data["axis_highs"],
+                    data["axis_points"],
+                )
+            ]
+            return cls(
+                ParameterGrid(axes),
+                data["values"],
+                label=str(data["label"]),
+                circuit_executions=int(data["circuit_executions"]),
+            )
+
+    def with_values(self, values: np.ndarray, label: str | None = None) -> "Landscape":
+        """A copy on the same grid with different values."""
+        return Landscape(
+            self.grid,
+            values,
+            label=label or self.label,
+            circuit_executions=self.circuit_executions,
+        )

@@ -1,0 +1,141 @@
+"""OSCAR: compressed-sensing landscape reconstruction (the headline API).
+
+:class:`OscarReconstructor` implements the three-phase workflow of
+Fig. 3 of the paper:
+
+1. **Parameter sampling** — draw a small random fraction of grid points;
+2. **Circuit execution** — evaluate the cost function only at those
+   points (via a :class:`~repro.landscape.generator.LandscapeGenerator`
+   or any pre-measured values);
+3. **Landscape reconstruction** — solve the L1/DCT sparse-recovery
+   problem to produce the full landscape.
+
+High-dimensional grids (p >= 2 QAOA) are reshaped to 2-D by the paper's
+axis-concatenation before reconstruction (Sec. 4.2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cs.reconstruct import ReconstructionConfig, reconstruct_signal
+from ..cs.sampling import stratified_indices, uniform_random_indices
+from .generator import LandscapeGenerator
+from .grid import ParameterGrid
+from .landscape import Landscape
+
+__all__ = ["OscarReconstructor", "ReconstructionReport"]
+
+
+@dataclass(frozen=True)
+class ReconstructionReport:
+    """Diagnostics of one OSCAR reconstruction.
+
+    Attributes:
+        num_samples: circuit executions used.
+        grid_size: full grid size the samples were drawn from.
+        sampling_fraction: ``num_samples / grid_size``.
+        speedup: circuit-execution speedup over a dense grid search.
+        solver_iterations: L1 solver iterations.
+        solver_converged: whether the solver met its tolerance.
+    """
+
+    num_samples: int
+    grid_size: int
+    sampling_fraction: float
+    speedup: float
+    solver_iterations: int
+    solver_converged: bool
+
+
+class OscarReconstructor:
+    """Reconstructs full landscapes from a sampled fraction of points."""
+
+    def __init__(
+        self,
+        grid: ParameterGrid,
+        config: ReconstructionConfig | None = None,
+        sampler: str = "uniform",
+        rng: np.random.Generator | int | None = None,
+    ):
+        if sampler not in ("uniform", "stratified"):
+            raise ValueError(f"unknown sampler {sampler!r}")
+        self.grid = grid
+        self.config = config or ReconstructionConfig()
+        self.sampler = sampler
+        if isinstance(rng, (int, np.integer)):
+            rng = np.random.default_rng(int(rng))
+        self.rng = rng or np.random.default_rng()
+
+    # -- phase 1: sampling ---------------------------------------------------
+
+    def sample_indices(self, fraction: float) -> np.ndarray:
+        """Random flat grid indices for a target sampling fraction."""
+        if self.sampler == "uniform":
+            return uniform_random_indices(self.grid.size, fraction, self.rng)
+        return stratified_indices(self.grid.size, fraction, self.rng)
+
+    # -- phase 2+3: execute and reconstruct -----------------------------------
+
+    def reconstruct(
+        self,
+        generator: LandscapeGenerator,
+        fraction: float,
+        label: str = "oscar-recon",
+    ) -> tuple[Landscape, ReconstructionReport]:
+        """Full OSCAR run: sample, execute, reconstruct.
+
+        Args:
+            generator: evaluates the cost function at sampled points.
+            fraction: sampling fraction in (0, 1].
+            label: provenance tag for the output landscape.
+        """
+        indices = self.sample_indices(fraction)
+        values = generator.evaluate_indices(indices)
+        return self.reconstruct_from_samples(indices, values, label)
+
+    def reconstruct_from_samples(
+        self,
+        flat_indices: np.ndarray,
+        values: np.ndarray,
+        label: str = "oscar-recon",
+    ) -> tuple[Landscape, ReconstructionReport]:
+        """Phase 3 only: reconstruct from already-measured samples.
+
+        This is the entry point for hardware datasets (Fig. 5/6) and the
+        parallel/NCM pipeline, where execution happened elsewhere.
+        """
+        flat_indices = np.asarray(flat_indices, dtype=int)
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if flat_indices.shape[0] != values.shape[0]:
+            raise ValueError("indices and values must have matching lengths")
+        if not np.all(np.isfinite(values)):
+            bad = int(np.sum(~np.isfinite(values)))
+            raise ValueError(
+                f"{bad} sample value(s) are non-finite; failed circuit "
+                "executions must be dropped (see eager reconstruction) "
+                "before reconstructing"
+            )
+        if np.unique(flat_indices).shape[0] != flat_indices.shape[0]:
+            raise ValueError("sample indices contain duplicates")
+        shape = self.grid.reshaped_2d_shape()
+        signal, solver_result = reconstruct_signal(
+            shape, flat_indices, values, self.config
+        )
+        landscape = Landscape(
+            self.grid,
+            signal.reshape(self.grid.shape),
+            label=label,
+            circuit_executions=int(flat_indices.shape[0]),
+        )
+        report = ReconstructionReport(
+            num_samples=int(flat_indices.shape[0]),
+            grid_size=self.grid.size,
+            sampling_fraction=flat_indices.shape[0] / self.grid.size,
+            speedup=self.grid.size / max(1, flat_indices.shape[0]),
+            solver_iterations=solver_result.iterations,
+            solver_converged=solver_result.converged,
+        )
+        return landscape, report

@@ -1,0 +1,29 @@
+"""Classical optimizers with query counting and path recording.
+
+- :class:`~repro.optimizers.adam.Adam` — gradient-based (Qiskit-default
+  hyperparameters), the paper's gradient-based reference,
+- :class:`~repro.optimizers.scipy_wrappers.Cobyla` — the paper's
+  gradient-free reference,
+- :class:`~repro.optimizers.adam.GradientDescent`,
+  :class:`~repro.optimizers.spsa.Spsa`,
+  :class:`~repro.optimizers.scipy_wrappers.NelderMead` — extras used by
+  the optimizer-selection use case and ablations.
+"""
+
+from .adam import Adam, GradientDescent, finite_difference_gradient
+from .base import CountingObjective, Objective, OptimizationResult, Optimizer
+from .scipy_wrappers import Cobyla, NelderMead
+from .spsa import Spsa
+
+__all__ = [
+    "Adam",
+    "GradientDescent",
+    "finite_difference_gradient",
+    "CountingObjective",
+    "Objective",
+    "OptimizationResult",
+    "Optimizer",
+    "Cobyla",
+    "NelderMead",
+    "Spsa",
+]

@@ -1,0 +1,22 @@
+"""Parallel landscape reconstruction (paper Sec. 5).
+
+- :class:`~repro.parallel.scheduler.ParallelSampler` — distribute
+  samples over a :class:`~repro.hardware.qpu.QpuPool` with optional
+  noise compensation,
+- :class:`~repro.parallel.ncm.NoiseCompensationModel` — linear
+  regression mapping one device's expectations onto another's,
+- :func:`~repro.parallel.eager.eager_reconstruct` — timeout-bounded
+  reconstruction that sidesteps latency tails.
+"""
+
+from .eager import EagerOutcome, eager_reconstruct
+from .ncm import NoiseCompensationModel
+from .scheduler import ParallelSampler, SampleBatch
+
+__all__ = [
+    "EagerOutcome",
+    "eager_reconstruct",
+    "NoiseCompensationModel",
+    "ParallelSampler",
+    "SampleBatch",
+]

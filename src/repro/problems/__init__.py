@@ -1,0 +1,34 @@
+"""Problem library: the workloads the paper evaluates OSCAR on.
+
+- :mod:`~repro.problems.pauli` — Pauli-string operator algebra,
+- :mod:`~repro.problems.ising` — generic diagonal Ising cost Hamiltonians,
+- :mod:`~repro.problems.maxcut` — MaxCut on 3-regular / mesh / arbitrary graphs,
+- :mod:`~repro.problems.sk` — Sherrington-Kirkpatrick spin glasses,
+- :mod:`~repro.problems.chemistry` — H2 and LiH molecular Hamiltonians.
+"""
+
+from .chemistry import h2_hamiltonian, lih_hamiltonian
+from .ising import IsingProblem
+from .maxcut import (
+    cut_value,
+    maxcut_from_graph,
+    mesh_maxcut,
+    random_3_regular_maxcut,
+    random_regular_graph,
+)
+from .pauli import PauliString, PauliSum
+from .sk import sk_problem
+
+__all__ = [
+    "h2_hamiltonian",
+    "lih_hamiltonian",
+    "IsingProblem",
+    "cut_value",
+    "maxcut_from_graph",
+    "mesh_maxcut",
+    "random_3_regular_maxcut",
+    "random_regular_graph",
+    "PauliString",
+    "PauliSum",
+    "sk_problem",
+]

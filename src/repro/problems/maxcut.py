@@ -1,0 +1,72 @@
+"""MaxCut problem instances.
+
+The paper's main workload is MaxCut on random 3-regular graphs
+(Table 1, Fig. 4, and the optimizer/initialization studies) plus the
+mesh-graph instances from the Google Sycamore dataset (Fig. 5/6).
+
+MaxCut on graph ``G = (V, E)`` with weights ``w_ij`` maximises the cut
+``sum_{(i,j) in E} w_ij (1 - z_i z_j) / 2``.  We express the QAOA *cost*
+Hamiltonian to be minimised as ``C = sum w_ij z_i z_j / 2`` (dropping
+the constant), so lower expected cost means a larger cut — matching the
+landscape plots of the paper where the optimizer minimises.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .ising import IsingProblem
+
+__all__ = [
+    "maxcut_from_graph",
+    "random_3_regular_maxcut",
+    "mesh_maxcut",
+    "random_regular_graph",
+    "cut_value",
+]
+
+
+def maxcut_from_graph(graph: nx.Graph, name: str = "maxcut") -> IsingProblem:
+    """Ising cost Hamiltonian for MaxCut on an arbitrary weighted graph."""
+    if graph.number_of_nodes() < 2:
+        raise ValueError("MaxCut needs at least two nodes")
+    nodes = sorted(graph.nodes())
+    relabel = {node: index for index, node in enumerate(nodes)}
+    couplings: dict[tuple[int, int], float] = {}
+    for u, v, data in graph.edges(data=True):
+        weight = float(data.get("weight", 1.0))
+        i, j = relabel[u], relabel[v]
+        lo, hi = (i, j) if i < j else (j, i)
+        couplings[(lo, hi)] = couplings.get((lo, hi), 0.0) + weight / 2.0
+    return IsingProblem.from_dicts(
+        len(nodes), couplings, offset=0.0, name=name
+    )
+
+
+def random_regular_graph(degree: int, num_nodes: int, seed: int) -> nx.Graph:
+    """A random ``degree``-regular graph (networkx, seeded)."""
+    if degree * num_nodes % 2 != 0:
+        raise ValueError("degree * num_nodes must be even for a regular graph")
+    return nx.random_regular_graph(degree, num_nodes, seed=seed)
+
+
+def random_3_regular_maxcut(num_nodes: int, seed: int = 0) -> IsingProblem:
+    """MaxCut on a seeded random 3-regular graph — the paper's workhorse."""
+    graph = random_regular_graph(3, num_nodes, seed)
+    return maxcut_from_graph(graph, name=f"maxcut-3reg-n{num_nodes}-s{seed}")
+
+
+def mesh_maxcut(rows: int, cols: int) -> IsingProblem:
+    """MaxCut on a 2-D grid ("mesh") graph, as in the Google dataset."""
+    graph = nx.grid_2d_graph(rows, cols)
+    return maxcut_from_graph(graph, name=f"maxcut-mesh-{rows}x{cols}")
+
+
+def cut_value(graph: nx.Graph, assignment: dict) -> float:
+    """Weight of the cut induced by a node -> {0,1} assignment."""
+    total = 0.0
+    for u, v, data in graph.edges(data=True):
+        if assignment[u] != assignment[v]:
+            total += float(data.get("weight", 1.0))
+    return total

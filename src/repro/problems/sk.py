@@ -1,0 +1,52 @@
+"""Sherrington-Kirkpatrick (SK) spin-glass model instances.
+
+The SK model (Sherrington & Kirkpatrick 1975) is a fully connected
+Ising spin glass with random couplings:
+
+    C(z) = (1 / sqrt(n)) * sum_{i<j} J_ij z_i z_j,  J_ij ~ {+1, -1} or N(0,1).
+
+The paper evaluates OSCAR on SK landscapes in Table 2 (4 and 6 qubits)
+and in the Google Sycamore dataset (Fig. 5/6), where couplings are
++/- 1.  The ``1/sqrt(n)`` normalisation keeps the energy scale
+n-independent, matching the Sycamore convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ising import IsingProblem
+
+__all__ = ["sk_problem"]
+
+
+def sk_problem(
+    num_qubits: int,
+    seed: int = 0,
+    couplings: str = "pm1",
+) -> IsingProblem:
+    """A random SK instance.
+
+    Args:
+        num_qubits: number of spins (fully connected).
+        seed: RNG seed for coupling draws.
+        couplings: ``"pm1"`` for +/-1 couplings (Sycamore convention) or
+            ``"gaussian"`` for N(0, 1) couplings.
+    """
+    if num_qubits < 2:
+        raise ValueError("the SK model needs at least two spins")
+    rng = np.random.default_rng(seed)
+    scale = 1.0 / np.sqrt(num_qubits)
+    pairs: dict[tuple[int, int], float] = {}
+    for i in range(num_qubits):
+        for j in range(i + 1, num_qubits):
+            if couplings == "pm1":
+                value = float(rng.choice((-1.0, 1.0)))
+            elif couplings == "gaussian":
+                value = float(rng.normal())
+            else:
+                raise ValueError(f"unknown coupling scheme {couplings!r}")
+            pairs[(i, j)] = scale * value
+    return IsingProblem.from_dicts(
+        num_qubits, pairs, name=f"sk-n{num_qubits}-s{seed}-{couplings}"
+    )

@@ -1,0 +1,37 @@
+"""Quantum simulation substrate: gates, circuits, state engines, noise.
+
+This subpackage replaces the Qiskit/Cirq dependency of the original
+OSCAR implementation with a self-contained simulator stack:
+
+- :mod:`~repro.quantum.gates` — gate matrices,
+- :mod:`~repro.quantum.parameters` — symbolic circuit parameters,
+- :mod:`~repro.quantum.circuit` — the circuit IR (bind/compose/fold),
+- :mod:`~repro.quantum.statevector` — exact pure-state engine,
+- :mod:`~repro.quantum.density` — exact noisy engine (Kraus channels),
+- :mod:`~repro.quantum.trajectories` — scalable Monte-Carlo noisy engine,
+- :mod:`~repro.quantum.noise` — depolarizing/readout noise models.
+"""
+
+from .circuit import CircuitError, Instruction, QuantumCircuit
+from .density import DensityMatrix, simulate_density
+from .noise import IDEAL, NoiseModel, global_depolarizing_factor
+from .parameters import Parameter, ParameterExpression
+from .statevector import Statevector, expectation_of_diagonal, simulate
+from .trajectories import trajectory_expectation_diagonal
+
+__all__ = [
+    "CircuitError",
+    "Instruction",
+    "QuantumCircuit",
+    "DensityMatrix",
+    "simulate_density",
+    "IDEAL",
+    "NoiseModel",
+    "global_depolarizing_factor",
+    "Parameter",
+    "ParameterExpression",
+    "Statevector",
+    "expectation_of_diagonal",
+    "simulate",
+    "trajectory_expectation_diagonal",
+]

@@ -1,0 +1,342 @@
+"""A minimal but complete parameterized quantum circuit IR.
+
+:class:`QuantumCircuit` stores a flat list of :class:`Instruction` items.
+It supports everything the rest of the library needs:
+
+- appending named gates (validated against the gate table in
+  :mod:`repro.quantum.gates`),
+- symbolic parameters and :meth:`QuantumCircuit.bind`,
+- composition, inversion and unitary-folding (used by ZNE noise scaling),
+- structural queries (depth, gate counts, two-qubit gate count) used by
+  the noise model and latency model.
+
+The IR is deliberately simulator-agnostic: the statevector, density
+matrix and trajectory engines all consume the same instruction list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Real
+from typing import Iterable, Iterator, Sequence
+
+from .gates import gate_matrix
+from .parameters import Parameter, ParameterExpression, resolve_value
+
+__all__ = ["Instruction", "QuantumCircuit", "CircuitError"]
+
+ParamLike = "Parameter | ParameterExpression | Real"
+
+_GATE_ARITY = {
+    "i": 1, "id": 1, "x": 1, "y": 1, "z": 1, "h": 1, "s": 1, "sdg": 1,
+    "t": 1, "tdg": 1, "sx": 1, "rx": 1, "ry": 1, "rz": 1, "p": 1, "u": 1,
+    "cx": 2, "cnot": 2, "cz": 2, "swap": 2, "rxx": 2, "ryy": 2, "rzz": 2,
+    "crx": 2, "cry": 2, "crz": 2, "cp": 2,
+}
+
+_PARAM_COUNT = {
+    "rx": 1, "ry": 1, "rz": 1, "p": 1, "u": 3, "rxx": 1, "ryy": 1,
+    "rzz": 1, "crx": 1, "cry": 1, "crz": 1, "cp": 1,
+}
+
+_SELF_INVERSE = {"i", "id", "x", "y", "z", "h", "cx", "cnot", "cz", "swap"}
+_NAMED_INVERSE = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid circuit operations."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate application: a name, qubit operands and (possibly
+    symbolic) parameters."""
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[object, ...] = ()
+
+    @property
+    def is_parameterized(self) -> bool:
+        """True if any parameter is still symbolic."""
+        return any(
+            isinstance(value, (Parameter, ParameterExpression)) for value in self.params
+        )
+
+    def bound_params(self, bindings: dict[Parameter, float] | None) -> tuple[float, ...]:
+        """Resolve all parameters to floats using ``bindings``."""
+        return tuple(resolve_value(value, bindings) for value in self.params)
+
+
+class QuantumCircuit:
+    """An ordered list of gate instructions on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit"):
+        if num_qubits < 1:
+            raise CircuitError("a circuit needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._instructions: list[Instruction] = []
+
+    # -- construction -------------------------------------------------
+
+    def append(
+        self,
+        name: str,
+        qubits: Sequence[int] | int,
+        params: Sequence[object] | object = (),
+    ) -> "QuantumCircuit":
+        """Append a gate by name; returns ``self`` for chaining."""
+        key = name.lower()
+        if key not in _GATE_ARITY:
+            raise CircuitError(f"unknown gate {name!r}")
+        if isinstance(qubits, int):
+            qubits = (qubits,)
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != _GATE_ARITY[key]:
+            raise CircuitError(
+                f"gate {name!r} acts on {_GATE_ARITY[key]} qubit(s), got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubit operands in {qubits!r}")
+        for qubit in qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {qubit} out of range for {self.num_qubits}-qubit circuit"
+                )
+        if not isinstance(params, (tuple, list)):
+            params = (params,)
+        params = tuple(params)
+        expected = _PARAM_COUNT.get(key, 0)
+        if len(params) != expected:
+            raise CircuitError(
+                f"gate {name!r} takes {expected} parameter(s), got {len(params)}"
+            )
+        self._instructions.append(Instruction(key, qubits, params))
+        return self
+
+    # Convenience wrappers so ansatz code reads like textbook circuits.
+    def x(self, q: int) -> "QuantumCircuit":
+        """Pauli-X gate."""
+        return self.append("x", q)
+
+    def y(self, q: int) -> "QuantumCircuit":
+        """Pauli-Y gate."""
+        return self.append("y", q)
+
+    def z(self, q: int) -> "QuantumCircuit":
+        """Pauli-Z gate."""
+        return self.append("z", q)
+
+    def h(self, q: int) -> "QuantumCircuit":
+        """Hadamard gate."""
+        return self.append("h", q)
+
+    def s(self, q: int) -> "QuantumCircuit":
+        """Phase gate S."""
+        return self.append("s", q)
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        """Adjoint phase gate S-dagger."""
+        return self.append("sdg", q)
+
+    def t(self, q: int) -> "QuantumCircuit":
+        """T gate (pi/8)."""
+        return self.append("t", q)
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        """Adjoint T gate."""
+        return self.append("tdg", q)
+
+    def rx(self, theta: ParamLike, q: int) -> "QuantumCircuit":
+        """X-rotation by ``theta``."""
+        return self.append("rx", q, (theta,))
+
+    def ry(self, theta: ParamLike, q: int) -> "QuantumCircuit":
+        """Y-rotation by ``theta``."""
+        return self.append("ry", q, (theta,))
+
+    def rz(self, theta: ParamLike, q: int) -> "QuantumCircuit":
+        """Z-rotation by ``theta``."""
+        return self.append("rz", q, (theta,))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-X (CNOT) with the first operand as control."""
+        return self.append("cx", (control, target))
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        """Controlled-Z (symmetric in its operands)."""
+        return self.append("cz", (a, b))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        """SWAP gate."""
+        return self.append("swap", (a, b))
+
+    def rzz(self, theta: ParamLike, a: int, b: int) -> "QuantumCircuit":
+        """ZZ-rotation ``exp(-i theta ZZ / 2)`` (QAOA cost gate)."""
+        return self.append("rzz", (a, b), (theta,))
+
+    def rxx(self, theta: ParamLike, a: int, b: int) -> "QuantumCircuit":
+        """XX-rotation ``exp(-i theta XX / 2)``."""
+        return self.append("rxx", (a, b), (theta,))
+
+    def ryy(self, theta: ParamLike, a: int, b: int) -> "QuantumCircuit":
+        """YY-rotation ``exp(-i theta YY / 2)``."""
+        return self.append("ryy", (a, b), (theta,))
+
+    # -- structural queries -------------------------------------------
+
+    @property
+    def instructions(self) -> tuple[Instruction, ...]:
+        """The instruction list (read-only view)."""
+        return tuple(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        """All free symbolic parameters, as a set."""
+        found: set[Parameter] = set()
+        for instruction in self._instructions:
+            for value in instruction.params:
+                if isinstance(value, (Parameter, ParameterExpression)):
+                    found.update(value.parameters)
+        return frozenset(found)
+
+    @property
+    def is_parameterized(self) -> bool:
+        """True if the circuit still has unbound parameters."""
+        return any(instr.is_parameterized for instr in self._instructions)
+
+    def count_gates(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        counts: dict[str, int] = {}
+        for instruction in self._instructions:
+            counts[instruction.name] = counts.get(instruction.name, 0) + 1
+        return counts
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates (drives the noise/latency models)."""
+        return sum(1 for instr in self._instructions if len(instr.qubits) == 2)
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of gates sharing qubits."""
+        level = [0] * self.num_qubits
+        for instruction in self._instructions:
+            layer = 1 + max(level[q] for q in instruction.qubits)
+            for qubit in instruction.qubits:
+                level[qubit] = layer
+        return max(level, default=0)
+
+    # -- transformation ------------------------------------------------
+
+    def bind(self, bindings: dict[Parameter, float]) -> "QuantumCircuit":
+        """Return a copy with all symbolic parameters resolved."""
+        bound = QuantumCircuit(self.num_qubits, name=self.name)
+        for instruction in self._instructions:
+            bound._instructions.append(
+                Instruction(
+                    instruction.name,
+                    instruction.qubits,
+                    instruction.bound_params(bindings),
+                )
+            )
+        return bound
+
+    def bind_list(self, values: Sequence[float]) -> "QuantumCircuit":
+        """Bind parameters by sorted-name order (stable convention).
+
+        Ansatz factories name parameters so that sorted-name order is the
+        natural semantic order (``beta_00``, ... then ``gamma_00``, ...).
+        """
+        ordered = sorted(self.parameters, key=lambda prm: (prm.name, prm.uid))
+        if len(values) != len(ordered):
+            raise CircuitError(
+                f"expected {len(ordered)} parameter values, got {len(values)}"
+            )
+        return self.bind(dict(zip(ordered, (float(v) for v in values))))
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Concatenate ``other`` after this circuit."""
+        if other.num_qubits != self.num_qubits:
+            raise CircuitError("cannot compose circuits of different widths")
+        out = self.copy()
+        out._instructions.extend(other._instructions)
+        return out
+
+    def copy(self) -> "QuantumCircuit":
+        """Shallow copy (instructions are immutable)."""
+        out = QuantumCircuit(self.num_qubits, name=self.name)
+        out._instructions = list(self._instructions)
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """The adjoint circuit.
+
+        Requires all parameters to be bound for rotation gates, since the
+        inverse negates angles numerically.
+        """
+        out = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg")
+        for instruction in reversed(self._instructions):
+            name = instruction.name
+            if name in _SELF_INVERSE:
+                out._instructions.append(instruction)
+            elif name in _NAMED_INVERSE:
+                out._instructions.append(
+                    Instruction(_NAMED_INVERSE[name], instruction.qubits)
+                )
+            elif name in _PARAM_COUNT:
+                if instruction.is_parameterized:
+                    raise CircuitError(
+                        "cannot invert a circuit with unbound parameters"
+                    )
+                if name == "u":
+                    theta, phi, lam = instruction.params
+                    params: tuple[object, ...] = (-theta, -lam, -phi)
+                else:
+                    params = tuple(-float(v) for v in instruction.params)
+                out._instructions.append(Instruction(name, instruction.qubits, params))
+            else:  # pragma: no cover - defensive; every gate is categorized
+                raise CircuitError(f"cannot invert gate {name!r}")
+        return out
+
+    def folded(self, scale_factor: int) -> "QuantumCircuit":
+        """Global unitary folding ``U -> U (U^dagger U)^k`` for ZNE.
+
+        ``scale_factor`` must be an odd positive integer ``2k + 1``; the
+        folded circuit is logically identical but executes
+        ``scale_factor`` times the gates, scaling physical noise.
+        """
+        if scale_factor < 1 or scale_factor % 2 == 0:
+            raise CircuitError("fold scale factor must be an odd positive integer")
+        out = self.copy()
+        inverse = self.inverse()
+        for _ in range((scale_factor - 1) // 2):
+            out = out.compose(inverse).compose(self)
+        out.name = f"{self.name}_x{scale_factor}"
+        return out
+
+    def resolved_operations(
+        self, bindings: dict[Parameter, float] | None = None
+    ) -> Iterable[tuple[str, tuple[int, ...], "object"]]:
+        """Yield ``(name, qubits, matrix)`` with all parameters bound.
+
+        This is the single entry point simulators use, so gate semantics
+        live in exactly one place.
+        """
+        for instruction in self._instructions:
+            params = instruction.bound_params(bindings)
+            yield instruction.name, instruction.qubits, gate_matrix(
+                instruction.name, params
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self._instructions)}, depth={self.depth()})"
+        )

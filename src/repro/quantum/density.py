@@ -1,0 +1,180 @@
+"""Exact density-matrix simulation with Kraus noise channels.
+
+This is the reference noisy simulator: it applies each circuit gate as a
+unitary conjugation and, when a :class:`~repro.quantum.noise.NoiseModel`
+is supplied, follows it with the corresponding depolarizing channel on
+the touched qubits.  Memory is ``O(4**n)`` so it is intended for the
+small-n experiments (Tables 2-3 run at 4-6 qubits) and as the oracle
+that the scalable trajectory simulator is validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .noise import (
+    NoiseModel,
+    apply_readout_noise_to_probabilities,
+    depolarizing_kraus,
+    two_qubit_depolarizing_kraus,
+)
+from .parameters import Parameter
+
+__all__ = ["DensityMatrix", "simulate_density"]
+
+
+class DensityMatrix:
+    """A ``2**n x 2**n`` density operator with channel application."""
+
+    def __init__(self, num_qubits: int, data: np.ndarray | None = None):
+        self.num_qubits = int(num_qubits)
+        dim = 1 << self.num_qubits
+        if data is None:
+            self._data = np.zeros((dim, dim), dtype=complex)
+            self._data[0, 0] = 1.0
+        else:
+            data = np.asarray(data, dtype=complex)
+            if data.shape != (dim, dim):
+                raise ValueError(
+                    f"density matrix shape {data.shape} does not match {num_qubits} qubits"
+                )
+            self._data = data.copy()
+
+    @classmethod
+    def from_statevector(cls, amplitudes: np.ndarray) -> "DensityMatrix":
+        """Pure-state density matrix ``|psi><psi|``."""
+        amplitudes = np.asarray(amplitudes, dtype=complex).reshape(-1)
+        num_qubits = int(np.log2(amplitudes.shape[0]))
+        return cls(num_qubits, np.outer(amplitudes, amplitudes.conj()))
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying matrix (live view)."""
+        return self._data
+
+    def trace(self) -> float:
+        """Real part of the trace (should stay 1 for valid evolution)."""
+        return float(np.real(np.trace(self._data)))
+
+    def purity(self) -> float:
+        """``Tr(rho^2)``; 1 for pure states, 1/2**n for maximally mixed."""
+        return float(np.real(np.trace(self._data @ self._data)))
+
+    # -- operator embedding ---------------------------------------------
+
+    def _embed(self, matrix: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
+        """Expand a small operator on ``qubits`` to the full Hilbert space.
+
+        ``matrix`` is interpreted with the first operand as the low index
+        bit when ``len(qubits) == 1`` and in ``|q1 q0>`` order for pairs,
+        matching :mod:`repro.quantum.gates`.
+        """
+        n = self.num_qubits
+        dim = 1 << n
+        if len(qubits) == 1:
+            (qubit,) = qubits
+            full = np.ones(1, dtype=complex)
+            # Build via tensor reshaping: act on the qubit axis directly.
+            op = np.eye(dim, dtype=complex).reshape([2] * n + [2] * n)
+            # Cheaper: construct by kron products in qubit order n-1..0.
+            full = np.array([[1.0]], dtype=complex)
+            for position in range(n - 1, -1, -1):
+                full = np.kron(full, matrix if position == qubit else np.eye(2))
+            return full
+        if len(qubits) == 2:
+            q0, q1 = qubits  # q1 high bit, q0 low bit in `matrix`
+            tensor = matrix.reshape(2, 2, 2, 2)  # (q1', q0', q1, q0)
+            full = np.zeros((dim, dim), dtype=complex)
+            others = [q for q in range(n) if q not in (q0, q1)]
+            for b1 in range(2):
+                for b0 in range(2):
+                    for a1 in range(2):
+                        for a0 in range(2):
+                            amplitude = tensor[b1, b0, a1, a0]
+                            if amplitude == 0:
+                                continue
+                            # All basis pairs differing only on q0/q1.
+                            base = np.arange(1 << len(others))
+                            row = np.zeros_like(base)
+                            col = np.zeros_like(base)
+                            for bit_position, qubit in enumerate(others):
+                                bit = (base >> bit_position) & 1
+                                row |= bit << qubit
+                                col |= bit << qubit
+                            row_idx = row | (b1 << q1) | (b0 << q0)
+                            col_idx = col | (a1 << q1) | (a0 << q0)
+                            full[row_idx, col_idx] += amplitude
+            return full
+        raise ValueError(f"unsupported operator arity {len(qubits)}")
+
+    def apply_unitary(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Conjugate the state by an embedded unitary."""
+        full = self._embed(matrix, qubits)
+        self._data = full @ self._data @ full.conj().T
+
+    def apply_kraus(self, kraus_operators: Sequence[np.ndarray], qubits: Sequence[int]) -> None:
+        """Apply a quantum channel given by local Kraus operators."""
+        total = np.zeros_like(self._data)
+        for kraus in kraus_operators:
+            full = self._embed(kraus, qubits)
+            total += full @ self._data @ full.conj().T
+        self._data = total
+
+    def evolve(
+        self,
+        circuit: QuantumCircuit,
+        noise: NoiseModel | None = None,
+        bindings: Mapping[Parameter, float] | None = None,
+    ) -> "DensityMatrix":
+        """Apply the circuit, inserting noise channels after each gate."""
+        noise = noise or NoiseModel()
+        for name, qubits, matrix in circuit.resolved_operations(
+            dict(bindings) if bindings else None
+        ):
+            if name in ("cx", "cnot"):
+                operands = (qubits[1], qubits[0])  # control is the high bit
+            else:
+                operands = tuple(qubits)
+            self.apply_unitary(matrix, operands)
+            probability = noise.error_probability(len(qubits))
+            if probability > 0.0:
+                if len(qubits) == 1:
+                    self.apply_kraus(depolarizing_kraus(probability), operands)
+                else:
+                    self.apply_kraus(two_qubit_depolarizing_kraus(probability), operands)
+        return self
+
+    # -- measurement -----------------------------------------------------
+
+    def probabilities(self, readout_error: float = 0.0) -> np.ndarray:
+        """Diagonal outcome probabilities, optionally readout-corrupted."""
+        probs = np.real(np.diag(self._data)).copy()
+        probs = np.clip(probs, 0.0, None)
+        total = probs.sum()
+        if total > 0:
+            probs /= total
+        if readout_error > 0.0:
+            probs = apply_readout_noise_to_probabilities(probs, readout_error)
+        return probs
+
+    def expectation_diagonal(
+        self, diagonal_values: np.ndarray, readout_error: float = 0.0
+    ) -> float:
+        """Expectation of a diagonal observable (cost Hamiltonian)."""
+        return float(np.dot(self.probabilities(readout_error), diagonal_values))
+
+    def expectation_matrix(self, observable: np.ndarray) -> float:
+        """``Tr(rho O)`` for a dense Hermitian observable."""
+        return float(np.real(np.trace(self._data @ observable)))
+
+
+def simulate_density(
+    circuit: QuantumCircuit,
+    noise: NoiseModel | None = None,
+    bindings: Mapping[Parameter, float] | None = None,
+) -> DensityMatrix:
+    """Run a circuit from ``|0...0><0...0|`` under a noise model."""
+    return DensityMatrix(circuit.num_qubits).evolve(circuit, noise, bindings)

@@ -1,0 +1,249 @@
+"""Quantum gate matrices and helpers.
+
+This module is the lowest layer of the simulation substrate: plain
+``numpy`` unitaries for the standard gate set used by the ansatz library
+(QAOA, Two-local, UCCSD-style) plus small utilities for validating and
+combining them.
+
+All matrices use the little-endian qubit convention adopted throughout
+``repro.quantum``: qubit 0 is the least significant bit of a basis-state
+index.  Two-qubit gate matrices act on basis states ordered
+``|q1 q0>`` -> index ``2*q1 + q0``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+__all__ = [
+    "I",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "CX",
+    "CZ",
+    "SWAP",
+    "rx",
+    "ry",
+    "rz",
+    "p",
+    "u",
+    "rxx",
+    "ryy",
+    "rzz",
+    "crx",
+    "cry",
+    "crz",
+    "cp",
+    "controlled",
+    "is_unitary",
+    "is_hermitian",
+    "gate_matrix",
+    "PAULI_MATRICES",
+]
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+I = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[1, 1], [1, -1]], dtype=complex) * _SQRT2_INV
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+TDG = T.conj().T
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+PAULI_MATRICES = {"I": I, "X": X, "Y": Y, "Z": Z}
+
+# Two-qubit gates in little-endian |q1 q0> ordering.  For the symmetric
+# gates below (CZ, SWAP, RZZ, ...) endianness does not matter; for CX we
+# fix the convention control = first operand, target = second operand and
+# build the matrix accordingly in ``Statevector.apply_two_qubit``.
+CX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation around X: ``exp(-i theta X / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation around Y: ``exp(-i theta Y / 2)``."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation around Z: ``exp(-i theta Z / 2)``."""
+    phase = cmath.exp(-1j * theta / 2.0)
+    return np.array([[phase, 0], [0, phase.conjugate()]], dtype=complex)
+
+
+def p(lam: float) -> np.ndarray:
+    """Phase gate ``diag(1, exp(i lam))``."""
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def u(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit unitary (IBM ``U`` gate convention)."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def _two_qubit_pauli_rotation(pauli_pair: np.ndarray, theta: float) -> np.ndarray:
+    """``exp(-i theta/2 * P (x) Q)`` for a Pauli tensor product."""
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return c * np.eye(4, dtype=complex) - 1j * s * pauli_pair
+
+
+def rxx(theta: float) -> np.ndarray:
+    """Two-qubit XX rotation ``exp(-i theta XX / 2)``."""
+    return _two_qubit_pauli_rotation(np.kron(X, X), theta)
+
+
+def ryy(theta: float) -> np.ndarray:
+    """Two-qubit YY rotation ``exp(-i theta YY / 2)``."""
+    return _two_qubit_pauli_rotation(np.kron(Y, Y), theta)
+
+
+def rzz(theta: float) -> np.ndarray:
+    """Two-qubit ZZ rotation ``exp(-i theta ZZ / 2)`` (diagonal)."""
+    phase = cmath.exp(-1j * theta / 2.0)
+    conj = phase.conjugate()
+    return np.diag([phase, conj, conj, phase]).astype(complex)
+
+
+def controlled(unitary: np.ndarray) -> np.ndarray:
+    """Controlled version of a single-qubit unitary.
+
+    Control is the *second* operand qubit (the high bit of the 2-qubit
+    index), matching the ``|q1 q0>`` ordering used by :data:`CX`.
+    """
+    out = np.eye(4, dtype=complex)
+    out[2:, 2:] = unitary
+    return out
+
+
+def crx(theta: float) -> np.ndarray:
+    """Controlled-RX rotation."""
+    return controlled(rx(theta))
+
+
+def cry(theta: float) -> np.ndarray:
+    """Controlled-RY rotation."""
+    return controlled(ry(theta))
+
+
+def crz(theta: float) -> np.ndarray:
+    """Controlled-RZ rotation."""
+    return controlled(rz(theta))
+
+
+def cp(lam: float) -> np.ndarray:
+    """Controlled-phase rotation."""
+    return controlled(p(lam))
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Check ``M @ M.conj().T == I`` within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix @ matrix.conj().T, identity, atol=atol))
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Check ``M == M.conj().T`` within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, matrix.conj().T, atol=atol))
+
+
+_FIXED_GATES = {
+    "i": I,
+    "id": I,
+    "x": X,
+    "y": Y,
+    "z": Z,
+    "h": H,
+    "s": S,
+    "sdg": SDG,
+    "t": T,
+    "tdg": TDG,
+    "sx": SX,
+    "cx": CX,
+    "cnot": CX,
+    "cz": CZ,
+    "swap": SWAP,
+}
+
+_PARAMETRIC_GATES = {
+    "rx": rx,
+    "ry": ry,
+    "rz": rz,
+    "p": p,
+    "u": u,
+    "rxx": rxx,
+    "ryy": ryy,
+    "rzz": rzz,
+    "crx": crx,
+    "cry": cry,
+    "crz": crz,
+    "cp": cp,
+}
+
+
+def gate_matrix(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
+    """Resolve a gate name (and bound parameters) to its unitary matrix.
+
+    Raises:
+        KeyError: if the gate name is unknown.
+        TypeError: if parameters are supplied for a fixed gate or missing
+            for a parametric one.
+    """
+    key = name.lower()
+    if key in _FIXED_GATES:
+        if params:
+            raise TypeError(f"gate {name!r} takes no parameters, got {params!r}")
+        return _FIXED_GATES[key]
+    if key in _PARAMETRIC_GATES:
+        return _PARAMETRIC_GATES[key](*params)
+    raise KeyError(f"unknown gate {name!r}")

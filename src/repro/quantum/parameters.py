@@ -1,0 +1,118 @@
+"""Symbolic circuit parameters.
+
+Parametric circuits (ansatzes) carry :class:`Parameter` placeholders that
+are bound to numbers just before execution.  We support the small algebra
+the ansatz library needs: affine expressions ``coeff * parameter +
+offset`` (enough for QAOA's ``2 * gamma * w_ij`` angles and UCCSD's
+shared excitation parameters).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from numbers import Real
+
+__all__ = ["Parameter", "ParameterExpression", "ParameterValueError"]
+
+_counter = itertools.count()
+
+
+class ParameterValueError(ValueError):
+    """Raised when binding is attempted with missing or non-numeric values."""
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named symbolic circuit parameter.
+
+    Two parameters with the same name are distinct objects; identity is
+    tracked through a unique id so ansatz factories can safely reuse
+    names like ``theta``.
+    """
+
+    name: str
+    uid: int = field(default_factory=lambda: next(_counter), compare=True)
+
+    def __mul__(self, other: Real) -> "ParameterExpression":
+        return ParameterExpression(self, coeff=float(other))
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: Real) -> "ParameterExpression":
+        return ParameterExpression(self, offset=float(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Real) -> "ParameterExpression":
+        return ParameterExpression(self, offset=-float(other))
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self, coeff=-1.0)
+
+    def bind(self, values: dict["Parameter", float]) -> float:
+        """Resolve this parameter to a concrete float."""
+        if self not in values:
+            raise ParameterValueError(f"no value bound for parameter {self.name!r}")
+        return float(values[self])
+
+    @property
+    def parameters(self) -> frozenset["Parameter"]:
+        """The set of free parameters (always a singleton here)."""
+        return frozenset({self})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name!r})"
+
+
+@dataclass(frozen=True)
+class ParameterExpression:
+    """Affine expression ``coeff * parameter + offset``."""
+
+    parameter: Parameter
+    coeff: float = 1.0
+    offset: float = 0.0
+
+    def __mul__(self, other: Real) -> "ParameterExpression":
+        factor = float(other)
+        return ParameterExpression(
+            self.parameter, coeff=self.coeff * factor, offset=self.offset * factor
+        )
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: Real) -> "ParameterExpression":
+        return ParameterExpression(
+            self.parameter, coeff=self.coeff, offset=self.offset + float(other)
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Real) -> "ParameterExpression":
+        return self + (-float(other))
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self.parameter, coeff=-self.coeff, offset=-self.offset)
+
+    def bind(self, values: dict[Parameter, float]) -> float:
+        """Resolve the expression to a concrete float."""
+        return self.coeff * self.parameter.bind(values) + self.offset
+
+    @property
+    def parameters(self) -> frozenset[Parameter]:
+        """The set of free parameters in the expression."""
+        return frozenset({self.parameter})
+
+
+def resolve_value(
+    value: "Parameter | ParameterExpression | Real",
+    bindings: dict[Parameter, float] | None,
+) -> float:
+    """Bind a gate angle that may be symbolic or already numeric."""
+    if isinstance(value, (Parameter, ParameterExpression)):
+        if bindings is None:
+            raise ParameterValueError(
+                f"circuit has unbound parameters: {sorted(p.name for p in value.parameters)}"
+            )
+        return value.bind(bindings)
+    return float(value)

@@ -1,0 +1,131 @@
+"""Monte-Carlo Pauli-trajectory noisy simulation.
+
+Depolarizing noise is a stochastic mixture of Pauli errors, so its
+effect on any expectation value can be estimated by sampling error
+*trajectories*: run the statevector simulation and, after each gate,
+insert a random Pauli on the touched qubits with the model's error
+probability.  Averaging over trajectories converges to the exact
+density-matrix result at ``O(2**n)`` memory instead of ``O(4**n)``,
+which is how this reproduction simulates noisy landscapes beyond ~8
+qubits on one core.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import X, Y, Z
+from .noise import NoiseModel
+from .parameters import Parameter
+from .statevector import Statevector
+
+__all__ = [
+    "trajectory_expectation_diagonal",
+    "trajectory_expectation_observable",
+    "sample_trajectory",
+]
+
+_PAULIS = (X, Y, Z)
+
+
+def sample_trajectory(
+    circuit: QuantumCircuit,
+    noise: NoiseModel,
+    rng: np.random.Generator,
+    bindings: Mapping[Parameter, float] | None = None,
+) -> Statevector:
+    """One noisy trajectory: unitary evolution with sampled Pauli errors.
+
+    Single-qubit gates are followed (with probability ``p1``) by a
+    uniform X/Y/Z error; two-qubit gates by one of the 15 non-identity
+    Pauli pairs (with probability ``p2``) — exactly the unravelling of
+    the depolarizing Kraus channels, so trajectory averages converge to
+    the density-matrix result.
+    """
+    state = Statevector(circuit.num_qubits)
+    for name, qubits, matrix in circuit.resolved_operations(
+        dict(bindings) if bindings else None
+    ):
+        state.apply_gate(name, qubits, matrix)
+        probability = noise.error_probability(len(qubits))
+        if probability <= 0.0 or rng.random() >= probability:
+            continue
+        if len(qubits) == 1:
+            state.apply_one_qubit(_PAULIS[rng.integers(0, 3)], qubits[0])
+        else:
+            # Uniform non-identity Pauli pair: index 1..15 in base 4.
+            pair = int(rng.integers(1, 16))
+            left, right = pair // 4, pair % 4
+            if left:
+                state.apply_one_qubit(_PAULIS[left - 1], qubits[0])
+            if right:
+                state.apply_one_qubit(_PAULIS[right - 1], qubits[1])
+    return state
+
+
+def trajectory_expectation_diagonal(
+    circuit: QuantumCircuit,
+    diagonal_values: np.ndarray,
+    noise: NoiseModel,
+    num_trajectories: int = 32,
+    shots_per_trajectory: int | None = None,
+    rng: np.random.Generator | None = None,
+    bindings: Mapping[Parameter, float] | None = None,
+) -> float:
+    """Estimate a diagonal observable's expectation under noise.
+
+    Args:
+        circuit: the (bound or bindable) circuit to run.
+        diagonal_values: cost value per computational basis state.
+        noise: depolarizing noise model.
+        num_trajectories: number of sampled error trajectories.
+        shots_per_trajectory: if given, each trajectory's expectation is
+            itself shot-sampled (adding measurement statistics noise);
+            if ``None`` the exact per-trajectory expectation is used.
+        rng: random generator (for reproducibility).
+        bindings: parameter bindings if the circuit is symbolic.
+    """
+    rng = rng or np.random.default_rng()
+    if noise.is_ideal and shots_per_trajectory is None:
+        state = Statevector(circuit.num_qubits).evolve(circuit, bindings)
+        return state.expectation_diagonal(diagonal_values)
+    total = 0.0
+    for _ in range(num_trajectories):
+        state = sample_trajectory(circuit, noise, rng, bindings)
+        if shots_per_trajectory is None:
+            total += state.expectation_diagonal(diagonal_values)
+        else:
+            total += state.sample_expectation_diagonal(
+                diagonal_values, shots_per_trajectory, rng
+            )
+    return total / num_trajectories
+
+
+def trajectory_expectation_observable(
+    circuit: QuantumCircuit,
+    observable,
+    noise: NoiseModel,
+    num_trajectories: int = 32,
+    rng: np.random.Generator | None = None,
+    bindings: Mapping[Parameter, float] | None = None,
+) -> float:
+    """Noisy expectation of an arbitrary observable via trajectories.
+
+    ``observable`` is anything with an ``expectation(Statevector)``
+    method (a :class:`~repro.problems.pauli.PauliSum` or
+    :class:`~repro.problems.pauli.PauliString`), so noisy chemistry
+    (VQE) estimation scales to qubit counts where the ``O(4^n)``
+    density-matrix engine cannot go.
+    """
+    rng = rng or np.random.default_rng()
+    if noise.is_ideal:
+        state = Statevector(circuit.num_qubits).evolve(circuit, bindings)
+        return float(observable.expectation(state))
+    total = 0.0
+    for _ in range(num_trajectories):
+        state = sample_trajectory(circuit, noise, rng, bindings)
+        total += observable.expectation(state)
+    return total / num_trajectories

@@ -1,0 +1,15 @@
+"""Terminal visualisation (ASCII heatmaps and path overlays)."""
+
+from .ascii import (
+    render_error_map,
+    render_heatmap,
+    render_path_overlay,
+    render_side_by_side,
+)
+
+__all__ = [
+    "render_error_map",
+    "render_heatmap",
+    "render_path_overlay",
+    "render_side_by_side",
+]

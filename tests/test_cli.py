@@ -1,0 +1,96 @@
+"""Tests for the oscar-repro command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["teleport"])
+
+
+def test_reconstruct_command(capsys):
+    code = main(
+        [
+            "reconstruct",
+            "--qubits", "6",
+            "--resolution", "16", "32",
+            "--fraction", "0.15",
+            "--seed", "0",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "NRMSE" in output
+    assert "speedup" in output
+
+
+def test_reconstruct_command_noisy_with_render(capsys):
+    code = main(
+        [
+            "reconstruct",
+            "--qubits", "6",
+            "--problem", "sk",
+            "--resolution", "12", "24",
+            "--fraction", "0.2",
+            "--noisy",
+            "--render",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "sk-n6" in output
+    assert "|" in output  # side-by-side render
+
+
+def test_sycamore_command(capsys):
+    code = main(["sycamore", "--kind", "mesh", "--fraction", "0.3"])
+    assert code == 0
+    assert "sycamore-mesh" in capsys.readouterr().out
+
+
+def test_speedup_command(capsys):
+    code = main(["speedup", "--qubits", "6", "--target-nrmse", "0.1"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "speedup" in output
+
+
+def test_sparsity_command(capsys):
+    code = main(["sparsity", "--qubits", "6"])
+    assert code == 0
+    assert "DCT coefficients" in capsys.readouterr().out
+
+
+def test_adaptive_command(capsys):
+    code = main(
+        [
+            "adaptive",
+            "--qubits", "6",
+            "--resolution", "20", "40",
+            "--target-error", "0.2",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "holdout error estimate" in output
+    assert "met" in output
+
+
+def test_analyze_command(capsys):
+    code = main(
+        ["analyze", "--qubits", "6", "--resolution", "16", "32", "--fraction", "0.15"]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "barren-plateau fraction" in output
+    assert "local minima" in output
+    assert "symmetry error" in output

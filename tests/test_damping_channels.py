@@ -1,0 +1,116 @@
+"""Tests for the amplitude/phase damping channels and deep-grid (p=3)
+reconstruction support."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ansatz import QaoaAnsatz
+from repro.landscape import (
+    LandscapeGenerator,
+    OscarReconstructor,
+    cost_function,
+    nrmse,
+    qaoa_grid,
+)
+from repro.problems import random_3_regular_maxcut
+from repro.quantum import DensityMatrix, QuantumCircuit, simulate_density
+from repro.quantum.noise import amplitude_damping_kraus, phase_damping_kraus
+
+PROBS = st.floats(min_value=0.0, max_value=1.0)
+
+
+@given(gamma=PROBS)
+def test_amplitude_damping_completeness(gamma):
+    kraus = amplitude_damping_kraus(gamma)
+    total = sum(k.conj().T @ k for k in kraus)
+    assert np.allclose(total, np.eye(2))
+
+
+@given(lam=PROBS)
+def test_phase_damping_completeness(lam):
+    kraus = phase_damping_kraus(lam)
+    total = sum(k.conj().T @ k for k in kraus)
+    assert np.allclose(total, np.eye(2))
+
+
+def test_damping_validation():
+    with pytest.raises(ValueError):
+        amplitude_damping_kraus(1.5)
+    with pytest.raises(ValueError):
+        phase_damping_kraus(-0.1)
+
+
+def test_amplitude_damping_decays_excited_state():
+    rho = DensityMatrix(1)
+    circuit = QuantumCircuit(1).x(0)
+    rho.evolve(circuit)
+    rho.apply_kraus(amplitude_damping_kraus(0.3), (0,))
+    probs = rho.probabilities()
+    assert probs[1] == pytest.approx(0.7)
+    assert probs[0] == pytest.approx(0.3)
+    assert rho.trace() == pytest.approx(1.0)
+
+
+def test_amplitude_damping_fixed_point_is_ground_state():
+    rho = DensityMatrix(1)
+    rho.evolve(QuantumCircuit(1).h(0))
+    for _ in range(60):
+        rho.apply_kraus(amplitude_damping_kraus(0.2), (0,))
+    assert rho.probabilities()[0] == pytest.approx(1.0, abs=1e-5)
+
+
+def test_phase_damping_kills_coherence_keeps_populations():
+    rho = DensityMatrix(1)
+    rho.evolve(QuantumCircuit(1).h(0))
+    before_offdiag = abs(rho.data[0, 1])
+    rho.apply_kraus(phase_damping_kraus(0.5), (0,))
+    after_offdiag = abs(rho.data[0, 1])
+    assert after_offdiag == pytest.approx(before_offdiag * np.sqrt(0.5))
+    assert rho.probabilities()[0] == pytest.approx(0.5)
+
+
+def test_full_phase_damping_diagonalises():
+    rho = DensityMatrix(1)
+    rho.evolve(QuantumCircuit(1).h(0))
+    rho.apply_kraus(phase_damping_kraus(1.0), (0,))
+    assert abs(rho.data[0, 1]) == pytest.approx(0.0, abs=1e-12)
+    assert rho.purity() == pytest.approx(0.5)
+
+
+def test_damping_on_multi_qubit_register():
+    circuit = QuantumCircuit(2).h(0).cx(0, 1)
+    rho = simulate_density(circuit)
+    rho.apply_kraus(amplitude_damping_kraus(0.25), (1,))
+    assert rho.trace() == pytest.approx(1.0)
+    # The Bell state's |11> weight decays through qubit 1's damping.
+    assert rho.probabilities()[3] < 0.5
+
+
+# -- deep (p=3) grids -------------------------------------------------------------
+
+
+def test_p3_grid_reshape():
+    grid = qaoa_grid(p=3, resolution=(4, 5))
+    assert grid.shape == (4, 4, 4, 5, 5, 5)
+    assert grid.reshaped_2d_shape() == (64, 125)
+
+
+@settings(deadline=None, max_examples=1)
+@given(seed=st.integers(0, 3))
+def test_p3_reconstruction_runs(seed):
+    problem = random_3_regular_maxcut(4, seed=seed)
+    ansatz = QaoaAnsatz(problem, p=3)
+    grid = qaoa_grid(p=3, resolution=(4, 5))
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    truth = generator.grid_search()
+    oscar = OscarReconstructor(grid, rng=seed)
+    reconstruction, report = oscar.reconstruct(generator, 0.3)
+    assert reconstruction.values.shape == grid.shape
+    error = nrmse(truth.values, reconstruction.values)
+    assert np.isfinite(error)
+    # 6-D reshaping is hard; just require an informative reconstruction.
+    assert error < 1.0

@@ -1,0 +1,54 @@
+"""Additional dataset and viz coverage: custom Sycamore configs and the
+mesh-problem construction paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SycamoreConfig, sycamore_landscape
+from repro.landscape import nrmse
+
+
+def test_sycamore_custom_noise_profile_scales():
+    quiet = SycamoreConfig(
+        resolution=16, num_qubits=6, contraction=0.1, drift_amplitude=0.05,
+        shot_noise=0.02, salt_probability=0.0,
+    )
+    loud = SycamoreConfig(
+        resolution=16, num_qubits=6, contraction=0.8, drift_amplitude=0.5,
+        shot_noise=0.4, salt_probability=0.05,
+    )
+    quiet_hw, quiet_ideal = sycamore_landscape("mesh", seed=1, config=quiet)
+    loud_hw, loud_ideal = sycamore_landscape("mesh", seed=1, config=loud)
+    assert nrmse(quiet_ideal.values, quiet_hw.values) < nrmse(
+        loud_ideal.values, loud_hw.values
+    )
+
+
+def test_sycamore_salt_probability_zero_has_no_outliers():
+    config = SycamoreConfig(
+        resolution=16, num_qubits=6, contraction=0.0, drift_amplitude=0.0,
+        shot_noise=0.0, salt_probability=0.0,
+    )
+    hardware, ideal = sycamore_landscape("3-regular", seed=0, config=config)
+    assert np.allclose(hardware.values, ideal.values)
+
+
+def test_sycamore_mesh_qubit_rounding():
+    """num_qubits that is not a perfect rectangle still builds a mesh."""
+    config = SycamoreConfig(resolution=10, num_qubits=7)
+    hardware, _ = sycamore_landscape("mesh", seed=0, config=config)
+    assert hardware.values.shape == (10, 10)
+
+
+def test_sycamore_3regular_odd_qubits_rounded_up():
+    config = SycamoreConfig(resolution=10, num_qubits=7)
+    hardware, _ = sycamore_landscape("3-regular", seed=0, config=config)
+    assert np.isfinite(hardware.values).all()
+
+
+def test_sycamore_different_seeds_differ():
+    a, _ = sycamore_landscape("sk", seed=0)
+    b, _ = sycamore_landscape("sk", seed=1)
+    assert not np.allclose(a.values, b.values)

@@ -1,0 +1,119 @@
+"""Unit tests for repro.quantum.density (the exact noisy engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantum import DensityMatrix, NoiseModel, QuantumCircuit, simulate, simulate_density
+
+
+def test_initial_density_matrix_is_ground_state():
+    rho = DensityMatrix(2)
+    assert rho.data[0, 0] == 1.0
+    assert rho.trace() == pytest.approx(1.0)
+    assert rho.purity() == pytest.approx(1.0)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        DensityMatrix(2, np.eye(3))
+
+
+def test_from_statevector():
+    amplitudes = np.array([1.0, 1.0]) / np.sqrt(2)
+    rho = DensityMatrix.from_statevector(amplitudes)
+    assert rho.data[0, 1] == pytest.approx(0.5)
+    assert rho.purity() == pytest.approx(1.0)
+
+
+def test_ideal_evolution_matches_statevector():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.rx(0.4, 2)
+    qc.rzz(0.9, 1, 2)
+    qc.cx(2, 0)
+    state = simulate(qc)
+    rho = simulate_density(qc)
+    reference = np.outer(state.data, state.data.conj())
+    assert np.allclose(rho.data, reference, atol=1e-10)
+
+
+def test_noisy_evolution_preserves_trace():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.rx(0.3, 1)
+    rho = simulate_density(qc, NoiseModel(p1=0.05, p2=0.1))
+    assert rho.trace() == pytest.approx(1.0, abs=1e-10)
+
+
+def test_noise_reduces_purity():
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.cx(0, 1)
+    ideal = simulate_density(qc)
+    noisy = simulate_density(qc, NoiseModel(p1=0.05, p2=0.1))
+    assert noisy.purity() < ideal.purity()
+
+
+def test_full_depolarizing_single_qubit_mixes_completely():
+    qc = QuantumCircuit(1).h(0)
+    # p=3/4 depolarizing in Pauli convention is the fully mixing channel.
+    rho = simulate_density(qc, NoiseModel(p1=0.75))
+    assert np.allclose(rho.data, np.eye(2) / 2, atol=1e-10)
+
+
+def test_noise_contracts_expectation_toward_mean():
+    from repro.problems import random_3_regular_maxcut
+    from repro.ansatz import QaoaAnsatz
+
+    problem = random_3_regular_maxcut(4, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    params = np.array([0.2, -0.35])
+    qc = ansatz.circuit(params)
+    diagonal = problem.cost_diagonal()
+    ideal = simulate_density(qc).expectation_diagonal(diagonal)
+    noisy = simulate_density(qc, NoiseModel(p1=0.02, p2=0.05)).expectation_diagonal(
+        diagonal
+    )
+    mean = diagonal.mean()
+    assert abs(noisy - mean) < abs(ideal - mean)
+
+
+def test_probabilities_with_readout_error():
+    qc = QuantumCircuit(1)  # stays in |0>
+    rho = simulate_density(qc)
+    probs = rho.probabilities(readout_error=0.1)
+    assert probs[0] == pytest.approx(0.9)
+    assert probs[1] == pytest.approx(0.1)
+
+
+def test_expectation_matrix_matches_trace_formula():
+    qc = QuantumCircuit(2).h(0).cx(0, 1)
+    rho = simulate_density(qc, NoiseModel(p1=0.01, p2=0.02))
+    rng = np.random.default_rng(5)
+    hermitian = rng.normal(size=(4, 4))
+    hermitian = hermitian + hermitian.T
+    expected = np.real(np.trace(rho.data @ hermitian))
+    assert rho.expectation_matrix(hermitian) == pytest.approx(expected)
+
+
+def test_cx_convention_matches_statevector_engine():
+    qc = QuantumCircuit(2)
+    qc.x(0)
+    qc.cx(0, 1)
+    rho = simulate_density(qc)
+    assert rho.probabilities()[3] == pytest.approx(1.0)
+
+
+def test_embed_two_qubit_reversed_operand_order():
+    """rzz is symmetric so (0,1) and (1,0) must agree."""
+    qc1 = QuantumCircuit(3)
+    qc1.h(0).h(1).h(2)
+    qc1.rzz(0.8, 0, 2)
+    qc2 = QuantumCircuit(3)
+    qc2.h(0).h(1).h(2)
+    qc2.rzz(0.8, 2, 0)
+    assert np.allclose(simulate_density(qc1).data, simulate_density(qc2).data)

@@ -1,0 +1,75 @@
+"""Tests for the Landscape container and its persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.landscape import Landscape, qaoa_grid
+
+
+@pytest.fixture
+def landscape():
+    grid = qaoa_grid(p=1, resolution=(6, 8))
+    rng = np.random.default_rng(0)
+    return Landscape(grid, rng.normal(size=(6, 8)), label="test", circuit_executions=48)
+
+
+def test_shape_validation():
+    grid = qaoa_grid(p=1, resolution=(6, 8))
+    with pytest.raises(ValueError):
+        Landscape(grid, np.zeros((8, 6)))
+
+
+def test_flat_view(landscape):
+    assert landscape.flat().shape == (48,)
+    assert np.allclose(landscape.flat(), landscape.values.reshape(-1))
+
+
+def test_minimum_and_maximum(landscape):
+    min_value, min_point = landscape.minimum()
+    max_value, _ = landscape.maximum()
+    assert min_value == landscape.values.min()
+    assert max_value == landscape.values.max()
+    assert landscape.value_at(min_point) == pytest.approx(min_value)
+
+
+def test_reshaped_2d_on_4d():
+    grid = qaoa_grid(p=2, resolution=(3, 4))
+    values = np.arange(3 * 3 * 4 * 4, dtype=float).reshape(3, 3, 4, 4)
+    landscape = Landscape(grid, values)
+    reshaped = landscape.reshaped_2d()
+    assert reshaped.shape == (9, 16)
+    assert np.allclose(reshaped.reshape(-1), values.reshape(-1))
+
+
+def test_metric_delegation(landscape):
+    assert landscape.variance() == pytest.approx(np.var(landscape.values))
+    assert landscape.second_derivative() >= 0.0
+    assert landscape.variance_of_gradient() >= 0.0
+    assert 0.0 < landscape.dct_sparsity() <= 1.0
+
+
+def test_nrmse_against_self_is_zero(landscape):
+    assert landscape.nrmse_against(landscape) == pytest.approx(0.0)
+
+
+def test_save_load_roundtrip(landscape, tmp_path):
+    path = tmp_path / "landscape.npz"
+    landscape.save(path)
+    loaded = Landscape.load(path)
+    assert np.allclose(loaded.values, landscape.values)
+    assert loaded.label == "test"
+    assert loaded.circuit_executions == 48
+    assert loaded.grid.shape == landscape.grid.shape
+    for original, restored in zip(landscape.grid.axes, loaded.grid.axes):
+        assert original.name == restored.name
+        assert original.low == pytest.approx(restored.low)
+        assert original.high == pytest.approx(restored.high)
+
+
+def test_with_values(landscape):
+    other = landscape.with_values(np.zeros_like(landscape.values), label="zeros")
+    assert other.label == "zeros"
+    assert np.allclose(other.values, 0.0)
+    assert other.grid is landscape.grid

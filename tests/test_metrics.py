@@ -1,0 +1,141 @@
+"""Tests for the landscape metrics (paper Eqs. 1-4 + Table 4 statistic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.landscape import (
+    dct_sparsity,
+    landscape_variance,
+    nrmse,
+    second_derivative,
+    variance_of_gradient,
+)
+
+
+# -- NRMSE (Eq. 1) ---------------------------------------------------------------
+
+
+def test_nrmse_zero_for_identical():
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=(10, 10))
+    assert nrmse(values, values) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100), scale=st.floats(0.1, 100.0))
+def test_nrmse_scale_invariance(seed, scale):
+    """Scaling both landscapes by the same factor leaves NRMSE fixed."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=50)
+    y = x + rng.normal(size=50) * 0.2
+    assert nrmse(scale * x, scale * y) == pytest.approx(nrmse(x, y), rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100), shift=st.floats(-50, 50))
+def test_nrmse_shift_invariance(seed, shift):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=50)
+    y = x + rng.normal(size=50) * 0.2
+    assert nrmse(x + shift, y + shift) == pytest.approx(nrmse(x, y), rel=1e-9)
+
+
+def test_nrmse_matches_paper_formula():
+    x = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+    y = x + 0.5
+    rms = np.sqrt(np.mean(0.25))
+    iqr = np.percentile(x, 75) - np.percentile(x, 25)
+    assert nrmse(x, y) == pytest.approx(rms / iqr)
+
+
+def test_nrmse_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        nrmse(np.zeros(3), np.zeros(4))
+
+
+def test_nrmse_degenerate_constant_landscape():
+    x = np.full(10, 2.0)
+    assert nrmse(x, x) == 0.0
+    assert nrmse(x, x + 1.0) == float("inf")
+
+
+# -- D2 roughness (Eq. 2) -----------------------------------------------------------
+
+
+def test_second_derivative_zero_for_linear_ramp():
+    ramp = np.linspace(0, 5, 20)
+    assert second_derivative(ramp) == pytest.approx(0.0, abs=1e-20)
+
+
+def test_second_derivative_formula_1d():
+    x = np.array([0.0, 0.0, 1.0, 0.0, 0.0])
+    # second differences: 1, -2, 1 -> sum of squares / 4 = 6/4
+    assert second_derivative(x) == pytest.approx(1.5)
+
+
+def test_second_derivative_rough_beats_smooth():
+    t = np.linspace(0, 4 * np.pi, 64)
+    smooth = np.sin(t)
+    rough = np.sin(t) + 0.5 * np.sin(12 * t)
+    assert second_derivative(rough) > second_derivative(smooth)
+
+
+def test_second_derivative_2d_averages_dimensions():
+    values = np.outer(np.linspace(0, 1, 8), np.ones(8))
+    # Linear along rows, constant along columns: zero both ways.
+    assert second_derivative(values) == pytest.approx(0.0, abs=1e-20)
+
+
+def test_second_derivative_short_signal_is_zero():
+    assert second_derivative(np.array([1.0, 2.0])) == 0.0
+
+
+# -- VoG flatness (Eq. 3) --------------------------------------------------------------
+
+
+def test_vog_zero_for_constant_gradient():
+    ramp = np.linspace(0, 10, 30)
+    assert variance_of_gradient(ramp) == pytest.approx(0.0, abs=1e-20)
+
+
+def test_vog_flat_landscape_is_zero():
+    assert variance_of_gradient(np.full(20, 3.0)) == 0.0
+
+
+def test_vog_detects_barren_plateau():
+    """A flat (plateau) landscape has much smaller VoG than a bumpy one."""
+    t = np.linspace(0, 2 * np.pi, 64)
+    plateau = 0.01 * np.sin(t)
+    structured = np.sin(t)
+    assert variance_of_gradient(plateau) < variance_of_gradient(structured) / 100
+
+
+def test_vog_short_signal_is_zero():
+    assert variance_of_gradient(np.array([1.0])) == 0.0
+
+
+# -- variance (Eq. 4) and sparsity --------------------------------------------------------
+
+
+def test_landscape_variance_matches_numpy():
+    rng = np.random.default_rng(1)
+    values = rng.normal(size=(6, 7))
+    assert landscape_variance(values) == pytest.approx(float(np.var(values)))
+
+
+def test_dct_sparsity_in_unit_interval():
+    rng = np.random.default_rng(2)
+    values = rng.normal(size=(10, 10))
+    assert 0.0 < dct_sparsity(values) <= 1.0
+
+
+def test_dct_sparsity_smooth_less_than_noise():
+    t = np.linspace(0, 2 * np.pi, 32)
+    smooth = np.outer(np.sin(t), np.cos(t))
+    rng = np.random.default_rng(3)
+    noise = rng.normal(size=(32, 32))
+    assert dct_sparsity(smooth) < dct_sparsity(noise)

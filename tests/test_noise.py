@@ -1,0 +1,128 @@
+"""Unit tests for repro.quantum.noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum import NoiseModel, QuantumCircuit, global_depolarizing_factor
+from repro.quantum.noise import (
+    apply_readout_noise_to_probabilities,
+    depolarizing_kraus,
+    readout_confusion_matrix,
+    two_qubit_depolarizing_kraus,
+)
+
+PROBS = st.floats(min_value=0.0, max_value=1.0)
+
+
+@given(p=PROBS)
+def test_single_qubit_kraus_completeness(p):
+    kraus = depolarizing_kraus(p)
+    total = sum(k.conj().T @ k for k in kraus)
+    assert np.allclose(total, np.eye(2))
+
+
+@given(p=PROBS)
+def test_two_qubit_kraus_completeness(p):
+    kraus = two_qubit_depolarizing_kraus(p)
+    assert len(kraus) == 16
+    total = sum(k.conj().T @ k for k in kraus)
+    assert np.allclose(total, np.eye(4))
+
+
+def test_kraus_probability_validation():
+    with pytest.raises(ValueError):
+        depolarizing_kraus(1.5)
+    with pytest.raises(ValueError):
+        two_qubit_depolarizing_kraus(-0.1)
+
+
+def test_noise_model_validation():
+    with pytest.raises(ValueError):
+        NoiseModel(p1=-0.1)
+    with pytest.raises(ValueError):
+        NoiseModel(readout=1.2)
+
+
+def test_is_ideal():
+    assert NoiseModel().is_ideal
+    assert not NoiseModel(p1=0.01).is_ideal
+    assert not NoiseModel(readout=0.01).is_ideal
+
+
+def test_error_probability_by_arity():
+    model = NoiseModel(p1=0.01, p2=0.05)
+    assert model.error_probability(1) == 0.01
+    assert model.error_probability(2) == 0.05
+    with pytest.raises(ValueError):
+        model.error_probability(3)
+
+
+def test_scaled_multiplies_and_clamps():
+    model = NoiseModel(p1=0.4, p2=0.3, readout=0.2)
+    scaled = model.scaled(3.0)
+    assert scaled.p1 == 1.0  # clamped
+    assert scaled.p2 == pytest.approx(0.9)
+    assert scaled.readout == pytest.approx(0.6)
+
+
+def test_global_depolarizing_factor_ideal_is_one():
+    qc = QuantumCircuit(2).h(0).cx(0, 1)
+    assert global_depolarizing_factor(qc, NoiseModel()) == 1.0
+
+
+def test_global_depolarizing_factor_decreases_with_gates():
+    noise = NoiseModel(p1=0.01, p2=0.02)
+    short = QuantumCircuit(2).h(0)
+    long = QuantumCircuit(2).h(0).cx(0, 1).cx(0, 1).h(1)
+    assert global_depolarizing_factor(long, noise) < global_depolarizing_factor(
+        short, noise
+    )
+
+
+def test_global_depolarizing_factor_formula():
+    noise = NoiseModel(p1=0.003, p2=0.007)
+    qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+    expected = (1 - 4 * 0.003 / 3) ** 2 * (1 - 16 * 0.007 / 15)
+    assert global_depolarizing_factor(qc, noise) == pytest.approx(expected)
+
+
+def test_global_depolarizing_factor_nonnegative():
+    noise = NoiseModel(p1=0.9, p2=0.99)
+    qc = QuantumCircuit(2)
+    for _ in range(50):
+        qc.cx(0, 1)
+    assert global_depolarizing_factor(qc, noise) >= 0.0
+
+
+def test_readout_confusion_matrix_is_stochastic():
+    matrix = readout_confusion_matrix(3, 0.05)
+    assert matrix.shape == (8, 8)
+    assert np.allclose(matrix.sum(axis=0), 1.0)
+    assert np.all(matrix >= 0.0)
+
+
+def test_apply_readout_noise_matches_matrix():
+    rng = np.random.default_rng(0)
+    probs = rng.dirichlet(np.ones(8))
+    fast = apply_readout_noise_to_probabilities(probs, 0.07)
+    reference = readout_confusion_matrix(3, 0.07) @ probs
+    assert np.allclose(fast, reference)
+
+
+def test_apply_readout_noise_zero_is_identity():
+    probs = np.array([0.25, 0.75])
+    assert apply_readout_noise_to_probabilities(probs, 0.0) is probs
+
+
+@given(p=st.floats(min_value=0.0, max_value=0.5))
+@settings(max_examples=20)
+def test_apply_readout_noise_preserves_normalisation(p):
+    rng = np.random.default_rng(1)
+    probs = rng.dirichlet(np.ones(4))
+    noisy = apply_readout_noise_to_probabilities(probs, p)
+    assert noisy.sum() == pytest.approx(1.0)
+    assert np.all(noisy >= 0.0)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.quantum.parameters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quantum.parameters import (
+    Parameter,
+    ParameterExpression,
+    ParameterValueError,
+    resolve_value,
+)
+
+FLOATS = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+def test_parameters_with_same_name_are_distinct():
+    a = Parameter("theta")
+    b = Parameter("theta")
+    assert a != b
+    assert len({a, b}) == 2
+
+
+def test_parameter_bind():
+    theta = Parameter("theta")
+    assert theta.bind({theta: 1.5}) == 1.5
+
+
+def test_parameter_bind_missing_raises():
+    theta = Parameter("theta")
+    with pytest.raises(ParameterValueError):
+        theta.bind({})
+
+
+@given(value=FLOATS, coeff=FLOATS, offset=FLOATS)
+def test_expression_affine_algebra(value, coeff, offset):
+    theta = Parameter("theta")
+    expression = coeff * theta + offset
+    assert isinstance(expression, ParameterExpression)
+    assert expression.bind({theta: value}) == pytest.approx(
+        coeff * value + offset, rel=1e-12, abs=1e-9
+    )
+
+
+@given(value=FLOATS)
+def test_expression_negation(value):
+    theta = Parameter("theta")
+    assert (-theta).bind({theta: value}) == pytest.approx(-value)
+
+
+@given(value=FLOATS, scale=FLOATS)
+def test_expression_rescaling_composes(value, scale):
+    theta = Parameter("theta")
+    expression = (2.0 * theta + 1.0) * scale
+    assert expression.bind({theta: value}) == pytest.approx(
+        (2.0 * value + 1.0) * scale, rel=1e-9, abs=1e-6
+    )
+
+
+def test_expression_subtraction():
+    theta = Parameter("theta")
+    expression = theta - 3.0
+    assert expression.bind({theta: 5.0}) == pytest.approx(2.0)
+
+
+def test_expression_parameters_property():
+    theta = Parameter("theta")
+    assert (2 * theta).parameters == frozenset({theta})
+    assert theta.parameters == frozenset({theta})
+
+
+def test_resolve_value_numeric_passthrough():
+    assert resolve_value(2.5, None) == 2.5
+    assert resolve_value(3, None) == 3.0
+
+
+def test_resolve_value_symbolic_without_bindings_raises():
+    theta = Parameter("theta")
+    with pytest.raises(ParameterValueError):
+        resolve_value(theta, None)
+
+
+def test_resolve_value_expression():
+    theta = Parameter("theta")
+    assert resolve_value(2 * theta + 1, {theta: 3.0}) == pytest.approx(7.0)

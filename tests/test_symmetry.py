@@ -1,0 +1,167 @@
+"""Tests for QAOA landscape symmetries and symmetry-folded sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.landscape import (
+    GridAxis,
+    Landscape,
+    LandscapeGenerator,
+    OscarReconstructor,
+    ParameterGrid,
+    cost_function,
+    half_grid_indices,
+    is_centrosymmetric_grid,
+    mirror_flat_index,
+    mirror_samples,
+    nrmse,
+    qaoa_grid,
+    symmetrize,
+    time_reversal_symmetry_error,
+)
+
+
+def test_table1_grid_is_centrosymmetric():
+    assert is_centrosymmetric_grid(qaoa_grid(p=1))
+    assert is_centrosymmetric_grid(qaoa_grid(p=2))
+
+
+def test_asymmetric_grid_detected():
+    grid = ParameterGrid([GridAxis("x", 0.0, 1.0, 5), GridAxis("y", -1.0, 1.0, 5)])
+    assert not is_centrosymmetric_grid(grid)
+    landscape = Landscape(grid, np.zeros((5, 5)))
+    with pytest.raises(ValueError):
+        time_reversal_symmetry_error(landscape)
+    with pytest.raises(ValueError):
+        symmetrize(landscape)
+    with pytest.raises(ValueError):
+        half_grid_indices(grid)
+
+
+def test_mirror_flat_index_involution():
+    shape = (6, 9)
+    for flat in range(6 * 9):
+        assert mirror_flat_index(mirror_flat_index(flat, shape), shape) == flat
+
+
+def test_mirror_flat_index_corners():
+    shape = (4, 5)
+    assert mirror_flat_index(0, shape) == 19  # (0,0) -> (3,4)
+    assert mirror_flat_index(19, shape) == 0
+
+
+def test_qaoa_landscape_is_time_reversal_symmetric(qaoa6, small_grid):
+    """The physics: C(-beta, -gamma) = C(beta, gamma) exactly."""
+    truth = LandscapeGenerator(cost_function(qaoa6), small_grid).grid_search()
+    assert time_reversal_symmetry_error(truth) < 1e-10
+
+
+def test_symmetry_error_flags_broken_landscape(qaoa6, small_grid):
+    truth = LandscapeGenerator(cost_function(qaoa6), small_grid).grid_search()
+    broken = truth.with_values(
+        truth.values + np.linspace(0, 1, truth.values.size).reshape(truth.values.shape)
+    )
+    assert time_reversal_symmetry_error(broken) > 0.05
+
+
+def test_symmetrize_removes_antisymmetric_noise(qaoa6, small_grid):
+    truth = LandscapeGenerator(cost_function(qaoa6), small_grid).grid_search()
+    rng = np.random.default_rng(0)
+    noise = rng.normal(0, 0.1, truth.values.shape)
+    noisy = truth.with_values(truth.values + noise)
+    cleaned = symmetrize(noisy)
+    assert nrmse(truth.values, cleaned.values) < nrmse(truth.values, noisy.values)
+    # Symmetrisation is idempotent on the symmetric part.
+    assert time_reversal_symmetry_error(cleaned) < 1e-10
+
+
+def test_half_grid_indices_cover_orbits():
+    grid = qaoa_grid(p=1, resolution=(6, 8))
+    half = half_grid_indices(grid)
+    mirrored = {mirror_flat_index(flat, grid.shape) for flat in half}
+    assert set(half) | mirrored == set(range(grid.size))
+    # Roughly half the grid (self-symmetric points counted once).
+    assert grid.size / 2 <= half.size <= grid.size / 2 + 2
+
+
+def test_mirror_samples_doubles_distinct_points():
+    grid = qaoa_grid(p=1, resolution=(6, 8))
+    indices = np.array([0, 1, 2])
+    values = np.array([1.0, 2.0, 3.0])
+    all_indices, all_values = mirror_samples(grid, indices, values)
+    assert all_indices.shape[0] == 6
+    lookup = dict(zip(all_indices.tolist(), all_values.tolist()))
+    assert lookup[mirror_flat_index(0, grid.shape)] == 1.0
+
+
+def test_mirror_samples_handles_duplicates():
+    grid = qaoa_grid(p=1, resolution=(5, 5))
+    center = grid.size // 2  # self-symmetric central point
+    all_indices, all_values = mirror_samples(
+        grid, np.array([center]), np.array([7.0])
+    )
+    assert all_indices.shape[0] == 1
+    assert all_values[0] == 7.0
+
+
+def test_mirror_samples_validation():
+    grid = qaoa_grid(p=1, resolution=(5, 5))
+    with pytest.raises(ValueError):
+        mirror_samples(grid, np.array([0, 1]), np.array([1.0]))
+
+
+def test_symmetry_folded_oscar_beats_plain_at_same_cost(qaoa6, medium_grid):
+    """Sampling in the half-space + free mirroring halves the circuit
+    budget for the same effective sampling fraction."""
+    generator = LandscapeGenerator(cost_function(qaoa6), medium_grid)
+    truth = generator.grid_search()
+    budget = int(0.05 * medium_grid.size)  # circuit executions
+
+    # Plain OSCAR spends the budget on uniform samples.
+    plain = OscarReconstructor(medium_grid, rng=0)
+    indices = plain.sample_indices(budget / medium_grid.size)
+    plain_landscape, _ = plain.reconstruct_from_samples(
+        indices, generator.evaluate_indices(indices)
+    )
+
+    # Folded OSCAR: sample the half-space, mirror for free.
+    rng = np.random.default_rng(0)
+    half = half_grid_indices(medium_grid)
+    chosen = np.sort(rng.choice(half, size=budget, replace=False))
+    values = generator.evaluate_indices(chosen)
+    full_indices, full_values = mirror_samples(medium_grid, chosen, values)
+    folded = OscarReconstructor(medium_grid, rng=1)
+    folded_landscape, report = folded.reconstruct_from_samples(
+        full_indices, full_values
+    )
+    assert report.num_samples > budget  # free mirrored points counted
+    assert nrmse(truth.values, folded_landscape.values) < nrmse(
+        truth.values, plain_landscape.values
+    )
+
+
+# -- reconstructor input hardening (failure injection) ------------------------
+
+
+def test_reconstructor_rejects_nan_samples(medium_grid):
+    oscar = OscarReconstructor(medium_grid)
+    values = np.ones(10)
+    values[3] = np.nan
+    with pytest.raises(ValueError, match="non-finite"):
+        oscar.reconstruct_from_samples(np.arange(10), values)
+
+
+def test_reconstructor_rejects_inf_samples(medium_grid):
+    oscar = OscarReconstructor(medium_grid)
+    values = np.ones(5)
+    values[0] = np.inf
+    with pytest.raises(ValueError, match="non-finite"):
+        oscar.reconstruct_from_samples(np.arange(5), values)
+
+
+def test_reconstructor_rejects_duplicate_indices(medium_grid):
+    oscar = OscarReconstructor(medium_grid)
+    with pytest.raises(ValueError, match="duplicates"):
+        oscar.reconstruct_from_samples(np.array([1, 1, 2]), np.ones(3))

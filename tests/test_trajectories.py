@@ -1,0 +1,80 @@
+"""Tests for the Monte-Carlo Pauli-trajectory noisy engine.
+
+The trajectory engine is validated against the exact density-matrix
+engine: averaged trajectory expectations must converge to the exact
+noisy expectation within statistical tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ansatz import QaoaAnsatz
+from repro.problems import random_3_regular_maxcut
+from repro.quantum import NoiseModel, QuantumCircuit, simulate_density
+from repro.quantum.trajectories import sample_trajectory, trajectory_expectation_diagonal
+
+
+def test_ideal_shortcut_is_exact():
+    problem = random_3_regular_maxcut(4, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    params = np.array([0.3, -0.4])
+    circuit = ansatz.circuit(params)
+    diagonal = problem.cost_diagonal()
+    value = trajectory_expectation_diagonal(
+        circuit, diagonal, NoiseModel(), num_trajectories=1
+    )
+    assert value == pytest.approx(ansatz.expectation(params), abs=1e-10)
+
+
+def test_trajectory_mean_matches_density_matrix():
+    problem = random_3_regular_maxcut(4, seed=1)
+    ansatz = QaoaAnsatz(problem, p=1)
+    params = np.array([0.25, 0.5])
+    circuit = ansatz.circuit(params)
+    diagonal = problem.cost_diagonal()
+    noise = NoiseModel(p1=0.02, p2=0.05)
+    exact = simulate_density(circuit, noise).expectation_diagonal(diagonal)
+    rng = np.random.default_rng(7)
+    estimate = trajectory_expectation_diagonal(
+        circuit, diagonal, noise, num_trajectories=600, rng=rng
+    )
+    spread = diagonal.std()
+    assert estimate == pytest.approx(exact, abs=0.15 * spread)
+
+
+def test_single_trajectory_is_normalised():
+    qc = QuantumCircuit(3)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.cx(1, 2)
+    rng = np.random.default_rng(3)
+    state = sample_trajectory(qc, NoiseModel(p1=0.3, p2=0.3), rng)
+    assert state.norm() == pytest.approx(1.0, abs=1e-10)
+
+
+def test_zero_noise_trajectory_equals_ideal_state():
+    qc = QuantumCircuit(2).h(0).cx(0, 1)
+    rng = np.random.default_rng(0)
+    state = sample_trajectory(qc, NoiseModel(), rng)
+    probs = state.probabilities()
+    assert probs[0] == pytest.approx(0.5)
+    assert probs[3] == pytest.approx(0.5)
+
+
+def test_shot_sampling_layer_adds_variance():
+    problem = random_3_regular_maxcut(4, seed=2)
+    ansatz = QaoaAnsatz(problem, p=1)
+    circuit = ansatz.circuit(np.array([0.2, 0.3]))
+    diagonal = problem.cost_diagonal()
+    noise = NoiseModel(p1=0.01, p2=0.02)
+    rng = np.random.default_rng(11)
+    estimates = [
+        trajectory_expectation_diagonal(
+            circuit, diagonal, noise, num_trajectories=4,
+            shots_per_trajectory=64, rng=rng,
+        )
+        for _ in range(10)
+    ]
+    assert np.std(estimates) > 0.0

@@ -1,0 +1,172 @@
+"""Tests for the Two-local and UCCSD-style ansatzes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ansatz import TwoLocalAnsatz, UccsdAnsatz, default_excitations
+from repro.problems import h2_hamiltonian, lih_hamiltonian, sk_problem
+from repro.quantum import NoiseModel, Statevector, simulate
+
+
+# -- Two-local -----------------------------------------------------------------
+
+
+def test_twolocal_parameter_count():
+    hamiltonian = sk_problem(4, seed=0).to_pauli_sum()
+    assert TwoLocalAnsatz(hamiltonian, reps=1).num_parameters == 8
+    assert TwoLocalAnsatz(hamiltonian, reps=0).num_parameters == 4
+
+
+def test_twolocal_reps_validation():
+    hamiltonian = sk_problem(4, seed=0).to_pauli_sum()
+    with pytest.raises(ValueError):
+        TwoLocalAnsatz(hamiltonian, reps=-1)
+
+
+def test_twolocal_circuit_structure():
+    hamiltonian = sk_problem(4, seed=0).to_pauli_sum()
+    ansatz = TwoLocalAnsatz(hamiltonian, reps=1)
+    circuit = ansatz.circuit(np.zeros(8))
+    counts = circuit.count_gates()
+    assert counts["ry"] == 8
+    assert counts["cz"] == 3  # linear chain on 4 qubits
+
+
+def test_twolocal_zero_parameters_leave_ground_state():
+    hamiltonian = sk_problem(4, seed=0).to_pauli_sum()
+    ansatz = TwoLocalAnsatz(hamiltonian, reps=1)
+    state = ansatz.statevector(np.zeros(8))
+    assert state.probabilities()[0] == pytest.approx(1.0)
+
+
+def test_twolocal_expectation_matches_dense(rng):
+    hamiltonian = h2_hamiltonian()
+    ansatz = TwoLocalAnsatz(hamiltonian, reps=1)
+    params = rng.uniform(-np.pi, np.pi, size=ansatz.num_parameters)
+    state = ansatz.statevector(params)
+    dense = np.real(np.vdot(state.data, hamiltonian.matrix() @ state.data))
+    assert ansatz.expectation(params) == pytest.approx(dense, abs=1e-10)
+
+
+def test_twolocal_can_reach_h2_ground_state():
+    """Scanning a coarse parameter net must get close to the ground
+    energy (the ansatz is expressive enough for 2 qubits)."""
+    hamiltonian = h2_hamiltonian()
+    ansatz = TwoLocalAnsatz(hamiltonian, reps=1)
+    ground = hamiltonian.ground_energy()
+    rng = np.random.default_rng(0)
+    best = min(
+        ansatz.expectation(rng.uniform(-np.pi, np.pi, size=4)) for _ in range(300)
+    )
+    assert best < ground + 0.15
+
+
+def test_twolocal_noisy_expectation_contracts(rng):
+    hamiltonian = sk_problem(4, seed=1).to_pauli_sum()
+    ansatz = TwoLocalAnsatz(hamiltonian, reps=1)
+    params = rng.uniform(-2, 2, size=8)
+    ideal = ansatz.expectation(params)
+    noisy = ansatz.expectation(params, noise=NoiseModel(p1=0.02, p2=0.05))
+    # Diagonal Hamiltonian with zero trace: noise pulls toward 0.
+    assert abs(noisy) <= abs(ideal) + 1e-9
+
+
+def test_twolocal_shot_noise(rng):
+    hamiltonian = h2_hamiltonian()
+    ansatz = TwoLocalAnsatz(hamiltonian, reps=0)
+    params = np.array([0.3, -0.2])
+    exact = ansatz.expectation(params)
+    noisy = ansatz.expectation(params, shots=100, rng=rng)
+    assert noisy != exact
+    assert abs(noisy - exact) < 1.0
+
+
+def test_twolocal_validation_of_parameter_length():
+    ansatz = TwoLocalAnsatz(h2_hamiltonian(), reps=0)
+    with pytest.raises(ValueError):
+        ansatz.expectation([0.1, 0.2, 0.3])
+
+
+# -- UCCSD ---------------------------------------------------------------------
+
+
+def test_default_excitations_counts():
+    excitations = default_excitations(2, 3)
+    assert len(excitations) == 3
+    assert all(len(e) == 2 for e in excitations)
+    excitations4 = default_excitations(4, 8)
+    assert len(excitations4) == 8
+    assert any(len(e) == 4 for e in excitations4)  # includes doubles
+
+
+def test_default_excitations_validation():
+    with pytest.raises(ValueError):
+        default_excitations(1, 3)
+
+
+def test_uccsd_parameter_and_reference_state():
+    ansatz = UccsdAnsatz(h2_hamiltonian(), num_parameters=3)
+    assert ansatz.num_parameters == 3
+    # Zero parameters leave the Hartree-Fock reference intact.
+    state = ansatz.statevector(np.zeros(3))
+    reference = Statevector.from_label(ansatz.initial_bitstring)
+    assert state.fidelity(reference) == pytest.approx(1.0)
+
+
+def test_uccsd_excitation_validation():
+    with pytest.raises(ValueError):
+        UccsdAnsatz(h2_hamiltonian(), num_parameters=1, excitations=[(0, 1, 2)])
+    with pytest.raises(ValueError):
+        UccsdAnsatz(h2_hamiltonian(), num_parameters=1, excitations=[(0, 5)])
+    with pytest.raises(ValueError):
+        UccsdAnsatz(h2_hamiltonian(), num_parameters=2, excitations=[(0, 1)])
+
+
+def test_uccsd_initial_bitstring_width_check():
+    with pytest.raises(ValueError):
+        UccsdAnsatz(h2_hamiltonian(), num_parameters=3, initial_bitstring="101")
+
+
+def test_uccsd_expectation_matches_dense(rng):
+    hamiltonian = h2_hamiltonian()
+    ansatz = UccsdAnsatz(hamiltonian, num_parameters=3)
+    params = rng.uniform(-1, 1, size=3)
+    state = ansatz.statevector(params)
+    dense = np.real(np.vdot(state.data, hamiltonian.matrix() @ state.data))
+    assert ansatz.expectation(params) == pytest.approx(dense, abs=1e-10)
+
+
+def test_uccsd_can_lower_h2_energy_below_reference():
+    hamiltonian = h2_hamiltonian()
+    ansatz = UccsdAnsatz(hamiltonian, num_parameters=3)
+    reference_energy = ansatz.expectation(np.zeros(3))
+    thetas = np.linspace(-1.0, 1.0, 41)
+    best = min(ansatz.expectation([t, 0.0, 0.0]) for t in thetas)
+    assert best < reference_energy
+
+
+def test_uccsd_double_excitation_circuit_is_unitary_action():
+    """A double-excitation block followed by its inverse is identity."""
+    ansatz = UccsdAnsatz(
+        lih_hamiltonian(), num_parameters=1, excitations=[(0, 1, 2, 3)]
+    )
+    circuit = ansatz.circuit(np.array([0.7]))
+    state = simulate(circuit.compose(circuit.inverse()))
+    assert state.fidelity(Statevector(4)) == pytest.approx(1.0, abs=1e-10)
+
+
+def test_uccsd_noisy_path_runs():
+    ansatz = UccsdAnsatz(h2_hamiltonian(), num_parameters=3)
+    value = ansatz.expectation(
+        np.array([0.1, 0.2, -0.1]), noise=NoiseModel(p1=0.01, p2=0.02)
+    )
+    assert np.isfinite(value)
+
+
+def test_uccsd_parameter_names():
+    ansatz = UccsdAnsatz(
+        lih_hamiltonian(), num_parameters=2, excitations=[(0, 1), (0, 1, 2, 3)]
+    )
+    assert ansatz.parameter_names() == ["ts_0", "td_1"]

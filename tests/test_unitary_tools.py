@@ -1,0 +1,137 @@
+"""Tests for the dense unitary builder, Pauli-sum trajectory estimation
+and the error-map renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems import h2_hamiltonian
+from repro.quantum import Parameter, QuantumCircuit, simulate, simulate_density, NoiseModel
+from repro.quantum.trajectories import trajectory_expectation_observable
+from repro.quantum.unitary import circuit_unitary, circuits_equivalent
+
+
+# -- circuit_unitary -----------------------------------------------------------
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_unitary_matches_statevector_evolution(seed):
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(3)
+    for _ in range(8):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            qc.rx(float(rng.normal()), int(rng.integers(0, 3)))
+        elif kind == 1:
+            a, b = rng.choice(3, size=2, replace=False)
+            qc.cx(int(a), int(b))
+        else:
+            a, b = rng.choice(3, size=2, replace=False)
+            qc.rzz(float(rng.normal()), int(a), int(b))
+    unitary = circuit_unitary(qc)
+    # Column 0 of U is the state evolved from |000>.
+    state = simulate(qc)
+    assert np.allclose(unitary[:, 0], state.data, atol=1e-10)
+    # Unitarity.
+    assert np.allclose(unitary @ unitary.conj().T, np.eye(8), atol=1e-10)
+
+
+def test_unitary_with_symbolic_bindings():
+    theta = Parameter("theta")
+    qc = QuantumCircuit(1).rx(theta, 0)
+    unitary = circuit_unitary(qc, bindings={theta: 0.4})
+    from repro.quantum.gates import rx
+
+    assert np.allclose(unitary, rx(0.4))
+
+
+def test_unitary_size_cap():
+    qc = QuantumCircuit(12).h(0)
+    with pytest.raises(ValueError):
+        circuit_unitary(qc)
+    # Explicit override works.
+    unitary = circuit_unitary(QuantumCircuit(2).h(0), max_qubits=2)
+    assert unitary.shape == (4, 4)
+
+
+def test_circuits_equivalent_hxh_equals_z():
+    left = QuantumCircuit(1).h(0).x(0).h(0)
+    right = QuantumCircuit(1).z(0)
+    assert circuits_equivalent(left, right)
+
+
+def test_circuits_equivalent_up_to_global_phase():
+    import math
+
+    left = QuantumCircuit(1).rx(math.pi, 0)   # = -i X
+    right = QuantumCircuit(1).x(0)
+    assert circuits_equivalent(left, right, up_to_global_phase=True)
+    assert not circuits_equivalent(left, right, up_to_global_phase=False)
+
+
+def test_circuits_equivalent_detects_difference():
+    left = QuantumCircuit(2).cx(0, 1)
+    right = QuantumCircuit(2).cx(1, 0)
+    assert not circuits_equivalent(left, right)
+
+
+def test_circuits_equivalent_width_mismatch():
+    assert not circuits_equivalent(QuantumCircuit(1).x(0), QuantumCircuit(2).x(0))
+
+
+# -- Pauli-sum trajectory estimation ------------------------------------------------
+
+
+def test_trajectory_observable_ideal_is_exact():
+    hamiltonian = h2_hamiltonian()
+    qc = QuantumCircuit(2).ry(0.3, 0).cx(0, 1)
+    state = simulate(qc)
+    exact = hamiltonian.expectation(state)
+    value = trajectory_expectation_observable(
+        qc, hamiltonian, NoiseModel(), num_trajectories=1
+    )
+    assert value == pytest.approx(exact, abs=1e-10)
+
+
+def test_trajectory_observable_matches_density_matrix():
+    hamiltonian = h2_hamiltonian()
+    qc = QuantumCircuit(2).ry(0.7, 0).cx(0, 1).rx(0.2, 1)
+    noise = NoiseModel(p1=0.03, p2=0.06)
+    exact = simulate_density(qc, noise).expectation_matrix(hamiltonian.matrix())
+    rng = np.random.default_rng(0)
+    estimate = trajectory_expectation_observable(
+        qc, hamiltonian, noise, num_trajectories=1200, rng=rng
+    )
+    assert estimate == pytest.approx(exact, abs=0.05)
+
+
+# -- error map ------------------------------------------------------------------------
+
+
+def test_render_error_map():
+    from repro.landscape import Landscape, qaoa_grid
+    from repro.viz import render_error_map
+
+    grid = qaoa_grid(p=1, resolution=(8, 12))
+    rng = np.random.default_rng(0)
+    truth = Landscape(grid, rng.normal(size=(8, 12)), label="truth")
+    candidate = truth.with_values(
+        truth.values + 0.1 * rng.normal(size=(8, 12)), label="recon"
+    )
+    output = render_error_map(truth, candidate)
+    assert "max abs error" in output
+    assert "truth" in output and "recon" in output
+
+
+def test_render_error_map_shape_mismatch():
+    from repro.landscape import Landscape, qaoa_grid
+    from repro.viz import render_error_map
+
+    a = Landscape(qaoa_grid(p=1, resolution=(4, 6)), np.zeros((4, 6)))
+    b = Landscape(qaoa_grid(p=1, resolution=(6, 4)), np.zeros((6, 4)))
+    with pytest.raises(ValueError):
+        render_error_map(a, b)

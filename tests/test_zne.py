@@ -1,0 +1,181 @@
+"""Tests for Zero-Noise Extrapolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ansatz import QaoaAnsatz
+from repro.mitigation import (
+    ZneConfig,
+    exponential_extrapolate,
+    extrapolate,
+    linear_extrapolate,
+    richardson_extrapolate,
+    zne_cost_function,
+    zne_expectation,
+)
+from repro.problems import random_3_regular_maxcut
+from repro.quantum import NoiseModel
+
+COEFFS = st.floats(min_value=-3, max_value=3)
+
+
+# -- extrapolation models ---------------------------------------------------------
+
+
+@given(a=COEFFS, b=COEFFS)
+def test_richardson_exact_on_lines(a, b):
+    scales = np.array([1.0, 2.0])
+    values = a + b * scales
+    assert richardson_extrapolate(scales, values) == pytest.approx(a, abs=1e-9)
+
+
+@given(a=COEFFS, b=COEFFS, c=COEFFS)
+def test_richardson_exact_on_quadratics(a, b, c):
+    scales = np.array([1.0, 2.0, 3.0])
+    values = a + b * scales + c * scales**2
+    assert richardson_extrapolate(scales, values) == pytest.approx(a, abs=1e-7)
+
+
+def test_richardson_weights_for_123():
+    """The {1,2,3} estimator is 3 y1 - 3 y2 + y3."""
+    scales = np.array([1.0, 2.0, 3.0])
+    for i, expected in enumerate((3.0, -3.0, 1.0)):
+        values = np.zeros(3)
+        values[i] = 1.0
+        assert richardson_extrapolate(scales, values) == pytest.approx(expected)
+
+
+def test_richardson_validation():
+    with pytest.raises(ValueError):
+        richardson_extrapolate(np.array([1.0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        richardson_extrapolate(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+
+
+@given(a=COEFFS, b=COEFFS)
+def test_linear_exact_on_lines(a, b):
+    scales = np.array([1.0, 3.0])
+    values = a + b * scales
+    assert linear_extrapolate(scales, values) == pytest.approx(a, abs=1e-9)
+
+
+def test_linear_least_squares_on_noisy_line():
+    rng = np.random.default_rng(0)
+    scales = np.array([1.0, 2.0, 3.0, 4.0])
+    values = 2.0 - 0.5 * scales + rng.normal(0, 1e-3, size=4)
+    assert linear_extrapolate(scales, values) == pytest.approx(2.0, abs=0.01)
+
+
+@given(a=st.floats(0.1, 3.0), b=st.floats(-1.0, -0.01))
+def test_exponential_exact_on_exponentials(a, b):
+    scales = np.array([1.0, 2.0, 3.0])
+    values = a * np.exp(b * scales)
+    assert exponential_extrapolate(scales, values) == pytest.approx(a, rel=1e-6)
+
+
+def test_exponential_falls_back_on_sign_changes():
+    scales = np.array([1.0, 2.0])
+    values = np.array([1.0, -1.0])
+    assert exponential_extrapolate(scales, values) == pytest.approx(
+        linear_extrapolate(scales, values)
+    )
+
+
+def test_extrapolate_dispatch_and_validation():
+    scales = [1.0, 2.0]
+    values = [1.0, 0.5]
+    assert extrapolate("linear", scales, values) == linear_extrapolate(
+        np.array(scales), np.array(values)
+    )
+    with pytest.raises(ValueError):
+        extrapolate("cubic-spline", scales, values)
+
+
+# -- ZneConfig -----------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ZneConfig(scale_factors=(1.0,))
+    with pytest.raises(ValueError):
+        ZneConfig(scale_factors=(0.5, 1.0))
+    with pytest.raises(ValueError):
+        ZneConfig(method="quartic")
+
+
+def test_richardson_noise_amplification_sqrt19():
+    config = ZneConfig(scale_factors=(1.0, 2.0, 3.0), method="richardson")
+    assert config.noise_amplification == pytest.approx(np.sqrt(19.0))
+
+
+def test_linear_noise_amplification_smaller_than_richardson():
+    richardson = ZneConfig((1.0, 2.0, 3.0), "richardson")
+    linear = ZneConfig((1.0, 3.0), "linear")
+    assert linear.noise_amplification < richardson.noise_amplification
+
+
+def test_circuit_overhead():
+    assert ZneConfig((1.0, 2.0, 3.0), "richardson").circuit_overhead == 3.0
+
+
+# -- end-to-end ZNE ---------------------------------------------------------------------
+
+
+def test_zne_recovers_ideal_expectation():
+    """On the analytic depolarizing model, ZNE must land much closer to
+    the ideal value than the unmitigated noisy estimate."""
+    problem = random_3_regular_maxcut(6, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    params = np.array([0.25, -0.55])
+    noise = NoiseModel(p1=0.002, p2=0.008)
+    ideal = ansatz.expectation(params)
+    noisy = ansatz.expectation(params, noise=noise)
+    mitigated = zne_expectation(
+        ansatz, params, noise, ZneConfig((1.0, 2.0, 3.0), "richardson")
+    )
+    assert abs(mitigated - ideal) < abs(noisy - ideal) / 3
+
+
+def test_zne_linear_also_improves():
+    problem = random_3_regular_maxcut(6, seed=1)
+    ansatz = QaoaAnsatz(problem, p=1)
+    params = np.array([0.3, 0.6])
+    noise = NoiseModel(p1=0.001, p2=0.005)
+    ideal = ansatz.expectation(params)
+    noisy = ansatz.expectation(params, noise=noise)
+    mitigated = zne_expectation(ansatz, params, noise, ZneConfig((1.0, 3.0), "linear"))
+    assert abs(mitigated - ideal) < abs(noisy - ideal)
+
+
+def test_richardson_amplifies_shot_noise_vs_linear():
+    """The Fig. 9 mechanism: with shot noise, Richardson estimates have
+    larger variance than linear ones."""
+    problem = random_3_regular_maxcut(6, seed=2)
+    ansatz = QaoaAnsatz(problem, p=1)
+    params = np.array([0.2, 0.4])
+    noise = NoiseModel(p1=0.001, p2=0.02)
+    rng = np.random.default_rng(5)
+    richardson_samples = [
+        zne_expectation(ansatz, params, noise,
+                        ZneConfig((1.0, 2.0, 3.0), "richardson"), shots=256, rng=rng)
+        for _ in range(30)
+    ]
+    linear_samples = [
+        zne_expectation(ansatz, params, noise,
+                        ZneConfig((1.0, 3.0), "linear"), shots=256, rng=rng)
+        for _ in range(30)
+    ]
+    assert np.std(richardson_samples) > np.std(linear_samples)
+
+
+def test_zne_cost_function_is_plain_callable():
+    problem = random_3_regular_maxcut(4, seed=3)
+    ansatz = QaoaAnsatz(problem, p=1)
+    noise = NoiseModel(p1=0.001, p2=0.01)
+    function = zne_cost_function(ansatz, noise)
+    value = function(np.array([0.1, 0.2]))
+    assert np.isfinite(value)
