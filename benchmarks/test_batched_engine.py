@@ -1,0 +1,124 @@
+"""Microbenchmark: batched reconstruction engine vs the serial loop.
+
+The acceptance bar for the engine is concrete: a stack of >= 8
+landscapes must (a) reproduce the serial ``reconstruct_signal`` results
+per landscape and (b) reconstruct at least 2x faster than the serial
+loop.  The stack uses the experiment-scale (20, 40) grid that Table 5,
+Fig. 10 and the test suite run on — small grids are exactly where the
+per-iteration Python/FFT dispatch overhead dominates and batching pays.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _util import emit, format_table
+from repro.cs import (
+    ReconstructionConfig,
+    ReconstructionEngine,
+    idct_transform,
+    reconstruct_signal,
+)
+
+GRID_SHAPE = (20, 40)
+STACK_SIZE = 12
+SAMPLING_FRACTION = 0.12
+REPEATS = 3
+
+
+def _planted_stack(shape, batch, fraction, seed):
+    rng = np.random.default_rng(seed)
+    size = int(np.prod(shape))
+    problems = []
+    for _ in range(batch):
+        coefficients = np.zeros(size)
+        support = rng.choice(size, size=10, replace=False)
+        coefficients[support] = 4.0 * rng.normal(size=10)
+        signal = idct_transform(coefficients.reshape(shape))
+        indices = np.sort(
+            rng.choice(size, size=int(fraction * size), replace=False)
+        )
+        problems.append((indices, signal.reshape(-1)[indices]))
+    return problems
+
+
+def test_batched_engine_speedup():
+    config = ReconstructionConfig(max_iterations=400)
+    problems = _planted_stack(GRID_SHAPE, STACK_SIZE, SAMPLING_FRACTION, seed=0)
+    engine = ReconstructionEngine(GRID_SHAPE, config)
+
+    serial_seconds = float("inf")
+    batched_seconds = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        serial = [
+            reconstruct_signal(GRID_SHAPE, indices, values, config)
+            for indices, values in problems
+        ]
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        batched = engine.solve(problems)
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
+
+    # (a) per-landscape equivalence with the serial path.
+    for (s_signal, s_result), (b_signal, b_result) in zip(serial, batched):
+        assert np.allclose(s_signal, b_signal, atol=1e-9)
+        assert s_result.iterations == b_result.iterations
+
+    speedup = serial_seconds / batched_seconds
+    iterations = [result.iterations for _, result in batched]
+    emit(
+        "batched_engine",
+        format_table(
+            ["metric", "value"],
+            [
+                ("grid shape", f"{GRID_SHAPE[0]}x{GRID_SHAPE[1]}"),
+                ("stack size", STACK_SIZE),
+                ("sampling fraction", SAMPLING_FRACTION),
+                ("serial loop (s)", serial_seconds),
+                ("batched engine (s)", batched_seconds),
+                ("speedup", speedup),
+                ("median FISTA iterations", float(np.median(iterations))),
+            ],
+        ),
+    )
+    # (b) the batched path must be at least 2x faster.  Shared CI
+    # runners are too noisy for a hard wall-clock gate (and pytest -x
+    # would abort the whole suite on a timing flake), so the bar is
+    # only enforced outside CI; the equivalence checks above ran
+    # either way.
+    if os.environ.get("CI"):
+        return
+    assert speedup >= 2.0, f"batched speedup {speedup:.2f}x below the 2x bar"
+
+
+def test_batched_engine_warm_start_speedup():
+    """Warm-started re-solves (the adaptive loop's pattern) cut both
+    iterations and wall clock further."""
+    config = ReconstructionConfig(max_iterations=400)
+    problems = _planted_stack(GRID_SHAPE, STACK_SIZE, SAMPLING_FRACTION, seed=1)
+    engine = ReconstructionEngine(GRID_SHAPE, config)
+    cold = engine.solve(problems)
+    warm_starts = [result.coefficients for _, result in cold]
+
+    start = time.perf_counter()
+    warmed = engine.solve(problems, warm_starts=warm_starts)
+    warm_seconds = time.perf_counter() - start
+
+    cold_iterations = sum(result.iterations for _, result in cold)
+    warm_iterations = sum(result.iterations for _, result in warmed)
+    emit(
+        "batched_engine_warm_start",
+        format_table(
+            ["metric", "value"],
+            [
+                ("cold total iterations", cold_iterations),
+                ("warm total iterations", warm_iterations),
+                ("warm re-solve (s)", warm_seconds),
+            ],
+        ),
+    )
+    assert warm_iterations < cold_iterations

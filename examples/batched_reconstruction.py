@@ -1,0 +1,87 @@
+"""Batched reconstruction: solve a whole stack of landscapes at once.
+
+Experiment sweeps reconstruct dozens of landscapes — one per problem
+instance, sampling fraction or device pair.  The batched
+:class:`~repro.cs.engine.ReconstructionEngine` (exposed through
+``OscarReconstructor.reconstruct_many``) stacks their coefficient
+arrays along a leading axis and runs a single vectorized FISTA loop,
+with per-landscape convergence masks so finished problems stop costing
+work.  Results match the serial path; wall clock does not.
+
+This example reconstructs one QAOA-MaxCut landscape at five sampling
+fractions in one engine pass, then re-solves the stack warm-started
+from the first solution to show the iteration savings.
+
+Run with:  python examples/batched_reconstruction.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import (
+    LandscapeGenerator,
+    OscarReconstructor,
+    QaoaAnsatz,
+    cost_function,
+    nrmse,
+    qaoa_grid,
+    random_3_regular_maxcut,
+)
+
+FRACTIONS = (0.04, 0.06, 0.08, 0.10, 0.15)
+
+
+def main() -> None:
+    problem = random_3_regular_maxcut(10, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=(30, 60))
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    truth = generator.grid_search()
+
+    oscar = OscarReconstructor(grid, rng=0)
+    sample_sets = []
+    for fraction in FRACTIONS:
+        indices = oscar.sample_indices(fraction)
+        sample_sets.append((indices, generator.evaluate_indices(indices)))
+
+    # --- one batched pass for the whole sweep -----------------------------
+    start = time.perf_counter()
+    batched = oscar.reconstruct_many(
+        sample_sets, labels=[f"fraction-{f}" for f in FRACTIONS]
+    )
+    batched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for indices, values in sample_sets:
+        oscar.reconstruct_from_samples(indices, values)
+    serial_seconds = time.perf_counter() - start
+
+    print(f"grid {grid.shape} ({grid.size} points), {len(FRACTIONS)} landscapes")
+    for fraction, (landscape, report) in zip(FRACTIONS, batched):
+        print(
+            f"  fraction {100 * fraction:5.1f}%: {report.num_samples:4d} samples, "
+            f"{report.solver_iterations:3d} iterations, "
+            f"NRMSE {nrmse(truth.values, landscape.values):.4f}"
+        )
+    print(
+        f"batched {batched_seconds:.3f}s vs serial {serial_seconds:.3f}s "
+        f"({serial_seconds / batched_seconds:.1f}x faster)"
+    )
+
+    # --- warm-started re-solve (the adaptive-loop pattern) -----------------
+    warm = oscar.coefficients_of(batched[0][0])
+    _, cold_report = oscar.reconstruct_from_samples(*sample_sets[-1])
+    _, warm_report = oscar.reconstruct_from_samples(
+        *sample_sets[-1], warm_start=warm
+    )
+    print(
+        f"warm start from the 4% solution: {warm_report.solver_iterations} "
+        f"iterations vs {cold_report.solver_iterations} cold"
+    )
+
+
+if __name__ == "__main__":
+    main()

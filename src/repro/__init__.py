@@ -40,7 +40,7 @@ Subpackage map (details in DESIGN.md):
 """
 
 from .ansatz import Ansatz, QaoaAnsatz, TwoLocalAnsatz, UccsdAnsatz
-from .cs import ReconstructionConfig
+from .cs import ReconstructionConfig, ReconstructionEngine
 from .hardware import LatencyModel, QpuPool, SimulatedQPU
 from .initialization import OscarInitializer
 from .landscape import (
@@ -78,6 +78,7 @@ __all__ = [
     "TwoLocalAnsatz",
     "UccsdAnsatz",
     "ReconstructionConfig",
+    "ReconstructionEngine",
     "LatencyModel",
     "QpuPool",
     "SimulatedQPU",

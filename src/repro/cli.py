@@ -7,7 +7,9 @@ code:
   print the NRMSE, speedup and an ASCII side-by-side view;
 - ``oscar-repro sycamore`` — reconstruct a synthetic Sycamore landscape;
 - ``oscar-repro speedup`` — run the headline speedup measurement;
-- ``oscar-repro sparsity`` — print DCT sparsity for a problem family.
+- ``oscar-repro sparsity`` — print DCT sparsity for a problem family;
+- ``oscar-repro batch`` — reconstruct a whole sampling-fraction sweep
+  in one batched engine pass (optionally timed against the serial loop).
 """
 
 from __future__ import annotations
@@ -85,6 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--fraction", type=float, default=0.08)
     analyze.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
     analyze.add_argument("--seed", type=int, default=0)
+
+    batch = sub.add_parser(
+        "batch",
+        help="batched engine: reconstruct a whole fraction sweep in one pass",
+    )
+    batch.add_argument("--qubits", type=int, default=10)
+    batch.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
+    batch.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=(0.04, 0.06, 0.08, 0.10, 0.15),
+        help="one landscape is reconstructed per sampling fraction",
+    )
+    batch.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--compare-serial",
+        action="store_true",
+        help="also time the serial per-landscape path",
+    )
     return parser
 
 
@@ -210,6 +233,45 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_batch(args: argparse.Namespace) -> int:
+    import time
+
+    problem = _problem(args.problem, args.qubits, args.seed)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    truth = generator.grid_search(label="grid-search")
+    oscar = OscarReconstructor(grid, rng=args.seed)
+    sample_sets = []
+    for fraction in args.fractions:
+        indices = oscar.sample_indices(fraction)
+        sample_sets.append((indices, generator.evaluate_indices(indices)))
+    start = time.perf_counter()
+    reconstructions = oscar.reconstruct_many(sample_sets)
+    batched_seconds = time.perf_counter() - start
+    print(
+        f"problem: {problem.name}  grid: {grid.shape} ({grid.size} points)  "
+        f"stack: {len(sample_sets)} landscapes"
+    )
+    for fraction, (landscape, report) in zip(args.fractions, reconstructions):
+        print(
+            f"  fraction {100 * fraction:5.1f}%  samples {report.num_samples:5d}  "
+            f"iters {report.solver_iterations:4d}  NRMSE "
+            f"{nrmse(truth.values, landscape.values):.4f}"
+        )
+    print(f"batched engine: {batched_seconds:.3f}s for the whole stack")
+    if args.compare_serial:
+        start = time.perf_counter()
+        for indices, values in sample_sets:
+            oscar.reconstruct_from_samples(indices, values)
+        serial_seconds = time.perf_counter() - start
+        print(
+            f"serial loop:    {serial_seconds:.3f}s "
+            f"({serial_seconds / max(batched_seconds, 1e-9):.1f}x slower)"
+        )
+    return 0
+
+
 _COMMANDS = {
     "reconstruct": _command_reconstruct,
     "sycamore": _command_sycamore,
@@ -217,6 +279,7 @@ _COMMANDS = {
     "sparsity": _command_sparsity,
     "adaptive": _command_adaptive,
     "analyze": _command_analyze,
+    "batch": _command_batch,
 }
 
 

@@ -3,7 +3,10 @@
 - :mod:`~repro.cs.dct` — orthonormal DCT transforms and sparsity metrics,
 - :mod:`~repro.cs.solvers` — FISTA-Lasso, OMP, basis-pursuit LP,
 - :mod:`~repro.cs.sampling` — random/stratified grid samplers,
-- :mod:`~repro.cs.reconstruct` — partial-sample signal recovery.
+- :mod:`~repro.cs.reconstruct` — partial-sample signal recovery and the
+  solver registry,
+- :mod:`~repro.cs.engine` — the batched multi-landscape reconstruction
+  engine (one vectorized FISTA loop over a stack of problems).
 """
 
 from .dct import (
@@ -18,14 +21,28 @@ from .dct import (
     sparsity_fraction_for_energy,
     transform,
 )
-from .reconstruct import ReconstructionConfig, reconstruct_signal, reconstruction_operators
+from .engine import ReconstructionEngine, reconstruct_signals
+from .reconstruct import (
+    ReconstructionConfig,
+    available_solvers,
+    reconstruct_signal,
+    reconstruction_operators,
+    register_solver,
+)
 from .sampling import (
     flat_to_grid_indices,
     sample_count_for_fraction,
     stratified_indices,
     uniform_random_indices,
 )
-from .solvers import SolverResult, basis_pursuit_linprog, fista_lasso, omp, soft_threshold
+from .solvers import (
+    SolverResult,
+    auto_lambda,
+    basis_pursuit_linprog,
+    fista_lasso,
+    omp,
+    soft_threshold,
+)
 
 __all__ = [
     "BASES",
@@ -39,13 +56,18 @@ __all__ = [
     "idct_transform",
     "sparsity_fraction_for_energy",
     "ReconstructionConfig",
+    "ReconstructionEngine",
+    "available_solvers",
     "reconstruct_signal",
+    "reconstruct_signals",
     "reconstruction_operators",
+    "register_solver",
     "flat_to_grid_indices",
     "sample_count_for_fraction",
     "stratified_indices",
     "uniform_random_indices",
     "SolverResult",
+    "auto_lambda",
     "basis_pursuit_linprog",
     "fista_lasso",
     "omp",

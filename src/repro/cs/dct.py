@@ -33,46 +33,63 @@ __all__ = [
 BASES = ("dct", "dst")
 
 
-def dct_transform(values: np.ndarray) -> np.ndarray:
-    """Forward orthonormal DCT-II over every axis."""
-    return _fft.dctn(np.asarray(values, dtype=float), norm="ortho")
+def dct_transform(
+    values: np.ndarray, axes: tuple[int, ...] | None = None
+) -> np.ndarray:
+    """Forward orthonormal DCT-II over every axis (or a subset).
+
+    ``axes`` restricts the transform to the given axes — the batched
+    reconstruction engine transforms a ``(B, *shape)`` stack over the
+    trailing axes only, leaving the problem axis untouched.
+    """
+    return _fft.dctn(np.asarray(values, dtype=float), norm="ortho", axes=axes)
 
 
-def idct_transform(coefficients: np.ndarray) -> np.ndarray:
+def idct_transform(
+    coefficients: np.ndarray, axes: tuple[int, ...] | None = None
+) -> np.ndarray:
     """Inverse orthonormal DCT (synthesis: coefficients -> signal)."""
-    return _fft.idctn(np.asarray(coefficients, dtype=float), norm="ortho")
+    return _fft.idctn(np.asarray(coefficients, dtype=float), norm="ortho", axes=axes)
 
 
-def dst_transform(values: np.ndarray) -> np.ndarray:
+def dst_transform(
+    values: np.ndarray, axes: tuple[int, ...] | None = None
+) -> np.ndarray:
     """Forward orthonormal DST-II (the basis-choice ablation).
 
     The sine basis implies odd (zero) boundary extension, which VQA
     landscapes do not satisfy — the ablation benchmark quantifies the
     resulting penalty versus the DCT's even extension.
     """
-    return _fft.dstn(np.asarray(values, dtype=float), norm="ortho")
+    return _fft.dstn(np.asarray(values, dtype=float), norm="ortho", axes=axes)
 
 
-def idst_transform(coefficients: np.ndarray) -> np.ndarray:
+def idst_transform(
+    coefficients: np.ndarray, axes: tuple[int, ...] | None = None
+) -> np.ndarray:
     """Inverse orthonormal DST (synthesis)."""
-    return _fft.idstn(np.asarray(coefficients, dtype=float), norm="ortho")
+    return _fft.idstn(np.asarray(coefficients, dtype=float), norm="ortho", axes=axes)
 
 
-def transform(values: np.ndarray, basis: str = "dct") -> np.ndarray:
+def transform(
+    values: np.ndarray, basis: str = "dct", axes: tuple[int, ...] | None = None
+) -> np.ndarray:
     """Forward transform in a named orthonormal basis."""
     if basis == "dct":
-        return dct_transform(values)
+        return dct_transform(values, axes)
     if basis == "dst":
-        return dst_transform(values)
+        return dst_transform(values, axes)
     raise ValueError(f"unknown basis {basis!r}; choose from {BASES}")
 
 
-def inverse_transform(coefficients: np.ndarray, basis: str = "dct") -> np.ndarray:
+def inverse_transform(
+    coefficients: np.ndarray, basis: str = "dct", axes: tuple[int, ...] | None = None
+) -> np.ndarray:
     """Inverse transform in a named orthonormal basis."""
     if basis == "dct":
-        return idct_transform(coefficients)
+        return idct_transform(coefficients, axes)
     if basis == "dst":
-        return idst_transform(coefficients)
+        return idst_transform(coefficients, axes)
     raise ValueError(f"unknown basis {basis!r}; choose from {BASES}")
 
 

@@ -8,18 +8,75 @@ The synthesis operator is the orthonormal inverse DCT; the measurement
 operator restricts the synthesised signal to the sampled flat indices.
 Because the basis is orthonormal, the adjoint embeds the residual at the
 sampled indices and applies the forward DCT — both matrix-free.
+
+Solvers are looked up in a small registry (:func:`register_solver` /
+:func:`available_solvers`) keyed by :attr:`ReconstructionConfig.solver`,
+so new recovery algorithms plug in without touching the dispatch.  The
+FISTA path supports warm starts (``warm_start=`` on
+:func:`reconstruct_signal`), gradient-based adaptive momentum restart
+and a backtracking line search (``lipschitz=None``) — all exposed as
+:class:`ReconstructionConfig` fields.  Reconstructing *many* landscapes
+at once goes through :class:`~repro.cs.engine.ReconstructionEngine`,
+which runs one vectorized FISTA loop over a whole stack of problems.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Protocol
 
 import numpy as np
 
 from .dct import BASES, dct_basis_matrix, inverse_transform, transform
 from .solvers import SolverResult, basis_pursuit_linprog, fista_lasso, omp
 
-__all__ = ["ReconstructionConfig", "reconstruct_signal", "reconstruction_operators"]
+__all__ = [
+    "ReconstructionConfig",
+    "available_solvers",
+    "reconstruct_signal",
+    "reconstruction_operators",
+    "register_solver",
+    "validate_sample_set",
+]
+
+
+def validate_sample_set(
+    size: int,
+    flat_indices: np.ndarray,
+    values: np.ndarray,
+    context: str = "",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise and validate one ``(flat_indices, values)`` sample set.
+
+    The single validator shared by the serial path
+    (:meth:`~repro.landscape.reconstructor.OscarReconstructor.reconstruct_from_samples`)
+    and the batched engine, so both reject the same inputs with the
+    same messages.  ``context`` prefixes errors (e.g. ``"problem 3"``
+    when validating a stack).
+
+    Returns:
+        The indices as an int array and the values as a flat float
+        array.
+    """
+    flat_indices = np.asarray(flat_indices, dtype=int).reshape(-1)
+    values = np.asarray(values, dtype=float).reshape(-1)
+    prefix = f"{context}: " if context else ""
+    if flat_indices.shape[0] != values.shape[0]:
+        raise ValueError(prefix + "indices and values must have matching lengths")
+    if flat_indices.size == 0:
+        raise ValueError(prefix + "need at least one sample index")
+    if flat_indices.min() < 0 or flat_indices.max() >= size:
+        raise ValueError(prefix + "sample index out of range for grid shape")
+    if np.unique(flat_indices).shape[0] != flat_indices.shape[0]:
+        raise ValueError(prefix + "sample indices contain duplicates")
+    if not np.all(np.isfinite(values)):
+        bad = int(np.sum(~np.isfinite(values)))
+        raise ValueError(
+            prefix + f"{bad} sample value(s) are non-finite; failed circuit "
+            "executions must be dropped (see eager reconstruction) "
+            "before reconstructing"
+        )
+    return flat_indices, values
 
 
 @dataclass(frozen=True)
@@ -27,13 +84,24 @@ class ReconstructionConfig:
     """Knobs of the CS reconstruction.
 
     Attributes:
-        solver: ``"fista"`` (default), ``"omp"`` or ``"bp"``.
+        solver: a registered solver name — ``"fista"`` (default),
+            ``"omp"`` or ``"bp"`` (see :func:`available_solvers`).
         lam: L1 penalty for FISTA; ``None`` = auto heuristic.
         max_iterations: FISTA iteration cap.
         tolerance: FISTA relative-change stopping tolerance.
         max_atoms: OMP atom cap; ``None`` = measurements // 4.
         basis: sparsifying basis, ``"dct"`` (paper default) or ``"dst"``
             (the basis-choice ablation).
+        penalize_dc: whether the L1 shrinkage (and the auto-``lam``
+            heuristic's max) applies to the flat-index-0 coefficient.
+            ``None`` (default) resolves by basis: the DCT's index 0 is
+            the DC term carrying the landscape mean, so it is exempt;
+            the DST has no DC component, so everything is penalized.
+        adaptive_restart: enable FISTA's gradient-based momentum
+            restart (off by default to match the paper's plain FISTA).
+        lipschitz: Lipschitz constant of the measurement operator —
+            exactly 1 for a subsampled orthonormal basis.  ``None``
+            enables the backtracking line search.
     """
 
     solver: str = "fista"
@@ -42,10 +110,19 @@ class ReconstructionConfig:
     tolerance: float = 1e-6
     max_atoms: int | None = None
     basis: str = "dct"
+    penalize_dc: bool | None = None
+    adaptive_restart: bool = False
+    lipschitz: float | None = 1.0
 
     def __post_init__(self) -> None:
         if self.basis not in BASES:
             raise ValueError(f"unknown basis {self.basis!r}; choose from {BASES}")
+
+    def resolved_penalize_dc(self) -> bool:
+        """The effective DC-penalty choice (basis-dependent default)."""
+        if self.penalize_dc is not None:
+            return self.penalize_dc
+        return self.basis != "dct"
 
 
 def reconstruction_operators(
@@ -77,11 +154,42 @@ def reconstruction_operators(
     return forward, adjoint
 
 
+class _SolverEntry(Protocol):
+    def __call__(
+        self,
+        shape: tuple[int, ...],
+        flat_indices: np.ndarray,
+        values: np.ndarray,
+        config: ReconstructionConfig,
+        warm_start: np.ndarray | None,
+    ) -> SolverResult: ...
+
+
+_SOLVER_REGISTRY: dict[str, _SolverEntry] = {}
+
+
+def register_solver(name: str, solve: _SolverEntry) -> None:
+    """Register a named solver backend for :func:`reconstruct_signal`.
+
+    ``solve`` receives ``(shape, flat_indices, values, config,
+    warm_start)`` and returns a
+    :class:`~repro.cs.solvers.SolverResult` whose coefficients live in
+    ``config.basis``.  Registering an existing name replaces it.
+    """
+    _SOLVER_REGISTRY[name] = solve
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Names accepted by :attr:`ReconstructionConfig.solver`."""
+    return tuple(sorted(_SOLVER_REGISTRY))
+
+
 def reconstruct_signal(
     shape: tuple[int, ...],
     flat_indices: np.ndarray,
     values: np.ndarray,
     config: ReconstructionConfig | None = None,
+    warm_start: np.ndarray | None = None,
 ) -> tuple[np.ndarray, SolverResult]:
     """Recover a full signal from samples at ``flat_indices``.
 
@@ -90,6 +198,9 @@ def reconstruct_signal(
         flat_indices: sampled positions (flat, row-major).
         values: measured signal values at those positions.
         config: solver configuration.
+        warm_start: optional initial coefficient array (FISTA only) —
+            e.g. the previous solution when re-solving with a grown
+            sample set, as the adaptive reconstructor does.
 
     Returns:
         ``(signal, solver_result)`` — the reconstructed array of
@@ -100,39 +211,64 @@ def reconstruct_signal(
     values = np.asarray(values, dtype=float).reshape(-1)
     if flat_indices.shape[0] != values.shape[0]:
         raise ValueError("indices and values must have matching lengths")
-    forward, adjoint = reconstruction_operators(shape, flat_indices, config.basis)
-    if config.solver == "fista":
-        result = fista_lasso(
-            forward,
-            adjoint,
-            values,
-            shape,
-            lam=config.lam,
-            max_iterations=config.max_iterations,
-            tolerance=config.tolerance,
-        )
-    elif config.solver == "omp":
-        result = omp(
-            forward,
-            adjoint,
-            values,
-            shape,
-            max_atoms=config.max_atoms,
-        )
-    elif config.solver == "bp":
-        if config.basis != "dct":
-            raise ValueError("basis pursuit path only supports the DCT basis")
-        result = _solve_basis_pursuit(shape, flat_indices, values)
-    else:
-        raise ValueError(f"unknown solver {config.solver!r}")
+    try:
+        solve = _SOLVER_REGISTRY[config.solver]
+    except KeyError:
+        raise ValueError(
+            f"unknown solver {config.solver!r}; "
+            f"registered: {available_solvers()}"
+        ) from None
+    result = solve(shape, flat_indices, values, config, warm_start)
     signal = inverse_transform(result.coefficients.reshape(shape), config.basis)
     return signal, result
 
 
-def _solve_basis_pursuit(
-    shape: tuple[int, ...], flat_indices: np.ndarray, values: np.ndarray
+def _solve_fista(
+    shape: tuple[int, ...],
+    flat_indices: np.ndarray,
+    values: np.ndarray,
+    config: ReconstructionConfig,
+    warm_start: np.ndarray | None,
 ) -> SolverResult:
-    """Dense basis-pursuit path (small grids only)."""
+    """Registry entry: matrix-free FISTA (the landscape-scale default)."""
+    forward, adjoint = reconstruction_operators(shape, flat_indices, config.basis)
+    return fista_lasso(
+        forward,
+        adjoint,
+        values,
+        shape,
+        lam=config.lam,
+        max_iterations=config.max_iterations,
+        tolerance=config.tolerance,
+        lipschitz=config.lipschitz,
+        penalize_dc=config.resolved_penalize_dc(),
+        initial=warm_start,
+        adaptive_restart=config.adaptive_restart,
+    )
+
+
+def _solve_omp(
+    shape: tuple[int, ...],
+    flat_indices: np.ndarray,
+    values: np.ndarray,
+    config: ReconstructionConfig,
+    warm_start: np.ndarray | None,
+) -> SolverResult:
+    """Registry entry: orthogonal matching pursuit (ablations)."""
+    forward, adjoint = reconstruction_operators(shape, flat_indices, config.basis)
+    return omp(forward, adjoint, values, shape, max_atoms=config.max_atoms)
+
+
+def _solve_basis_pursuit(
+    shape: tuple[int, ...],
+    flat_indices: np.ndarray,
+    values: np.ndarray,
+    config: ReconstructionConfig,
+    warm_start: np.ndarray | None,
+) -> SolverResult:
+    """Registry entry: dense basis-pursuit LP (small grids only)."""
+    if config.basis != "dct":
+        raise ValueError("basis pursuit path only supports the DCT basis")
     size = int(np.prod(shape))
     if size > 4096:
         raise ValueError(
@@ -151,3 +287,8 @@ def _solve_basis_pursuit(
         result.converged,
         result.objective,
     )
+
+
+register_solver("fista", _solve_fista)
+register_solver("omp", _solve_omp)
+register_solver("bp", _solve_basis_pursuit)

@@ -44,19 +44,18 @@ def stratified_indices(
 ) -> np.ndarray:
     """Stratified sampler: one uniform draw per equal-width stratum.
 
-    Divides ``[0, grid_size)`` into ``count`` contiguous strata and
-    samples one point in each, guaranteeing coverage of the whole grid.
-    Used by the sampling-scheme ablation benchmark.
+    Divides ``[0, grid_size)`` into ``count`` *disjoint* contiguous
+    strata and samples one point in each, guaranteeing coverage of the
+    whole grid and exactly ``count`` distinct indices (so the realized
+    sampling fraction always matches the requested one).  Used by the
+    sampling-scheme ablation benchmark.
     """
     rng = rng or np.random.default_rng()
     count = sample_count_for_fraction(grid_size, fraction)
-    boundaries = np.linspace(0, grid_size, count + 1)
-    indices = []
-    for low, high in zip(boundaries[:-1], boundaries[1:]):
-        low_i, high_i = int(np.floor(low)), max(int(np.floor(low)) + 1, int(np.ceil(high)))
-        high_i = min(high_i, grid_size)
-        indices.append(int(rng.integers(low_i, high_i)))
-    return np.unique(np.asarray(indices, dtype=int))
+    # Integer stratum edges: strictly increasing (count <= grid_size),
+    # so strata are disjoint, non-empty, and tile [0, grid_size).
+    edges = (np.arange(count + 1) * grid_size) // count
+    return rng.integers(edges[:-1], edges[1:])
 
 
 def flat_to_grid_indices(

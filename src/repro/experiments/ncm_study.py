@@ -72,7 +72,7 @@ def _mixed_reconstruction_error(
     rng = np.random.default_rng(seed + 3)
     fractions = [qpu1_share, 1.0 - qpu1_share]
 
-    errors = []
+    sample_sets = []
     for compensate in (False, True):
         batch = sampler.run(
             ansatz,
@@ -82,10 +82,12 @@ def _mixed_reconstruction_error(
             ncm_training_fraction=training_fraction,
             rng=rng,
         )
-        reconstruction, _ = reconstructor.reconstruct_from_samples(
-            batch.flat_indices, batch.values
-        )
-        errors.append(nrmse(reference.values, reconstruction.values))
+        sample_sets.append((batch.flat_indices, batch.values))
+    reconstructions = reconstructor.reconstruct_many(sample_sets)
+    errors = [
+        nrmse(reference.values, reconstruction.values)
+        for reconstruction, _ in reconstructions
+    ]
     return errors[0], errors[1]
 
 
@@ -199,9 +201,11 @@ def run_table5(
         indices = reconstructor.sample_indices(total_fraction)
         rng = np.random.default_rng(seed + pair_index + 5)
 
-        split_errors: dict[float, tuple[float, float]] = {}
+        # Gather every split's batches first (sampler RNG order matches
+        # the old serial loop), then reconstruct all 2*len(splits)+1
+        # landscapes of this device pair in one engine pass.
+        sample_sets = []
         for share in splits:
-            errors = []
             for compensate in (False, True):
                 batch = sampler.run(
                     ansatz,
@@ -211,22 +215,25 @@ def run_table5(
                     ncm_training_fraction=ncm_training_fraction,
                     rng=rng,
                 )
-                reconstruction, _ = reconstructor.reconstruct_from_samples(
-                    batch.flat_indices, batch.values
-                )
-                errors.append(nrmse(reference.values, reconstruction.values))
-            split_errors[share] = (errors[0], errors[1])
-
+                sample_sets.append((batch.flat_indices, batch.values))
         only_batch = sampler.run(ansatz, indices, fractions=[1.0, 0.0], rng=rng)
-        only_reconstruction, _ = reconstructor.reconstruct_from_samples(
-            only_batch.flat_indices, only_batch.values
-        )
+        sample_sets.append((only_batch.flat_indices, only_batch.values))
+        reconstructions = reconstructor.reconstruct_many(sample_sets)
+        errors = [
+            nrmse(reference.values, reconstruction.values)
+            for reconstruction, _ in reconstructions
+        ]
+
+        split_errors: dict[float, tuple[float, float]] = {
+            share: (errors[2 * position], errors[2 * position + 1])
+            for position, share in enumerate(splits)
+        }
         rows.append(
             Table5Row(
                 qpu1=name1,
                 qpu2=name2,
                 split_errors=split_errors,
-                qpu1_only_error=nrmse(reference.values, only_reconstruction.values),
+                qpu1_only_error=errors[-1],
             )
         )
     return rows

@@ -48,21 +48,31 @@ def _instance_errors(
     seed: int,
     shots: int | None,
 ) -> np.ndarray:
+    """Per-instance NRMSE; sampling/execution stay per-instance (seeded
+    identically to the serial path) while the reconstructions of all
+    instances run through one batched engine pass."""
     resolution = scale.p1_resolution if p == 1 else scale.p2_resolution
-    errors = []
+    truths = []
+    sample_sets = []
+    grid = qaoa_grid(p=p, resolution=resolution)
     for instance in range(num_instances):
         problem = random_3_regular_maxcut(num_qubits, seed=seed + instance)
         ansatz = QaoaAnsatz(problem, p=p)
-        grid = qaoa_grid(p=p, resolution=resolution)
         rng = np.random.default_rng(seed + 57 * instance)
         generator = LandscapeGenerator(
             cost_function(ansatz, noise=noise, shots=shots, rng=rng), grid
         )
-        truth = generator.grid_search()
+        truths.append(generator.grid_search())
         reconstructor = OscarReconstructor(grid, rng=seed + 101 * instance)
-        reconstruction, _ = reconstructor.reconstruct(generator, fraction)
-        errors.append(nrmse(truth.values, reconstruction.values))
-    return np.asarray(errors)
+        indices = reconstructor.sample_indices(fraction)
+        sample_sets.append((indices, generator.evaluate_indices(indices)))
+    reconstructions = OscarReconstructor(grid).reconstruct_many(sample_sets)
+    return np.asarray(
+        [
+            nrmse(truth.values, reconstruction.values)
+            for truth, (reconstruction, _) in zip(truths, reconstructions)
+        ]
+    )
 
 
 def run_fig4_sweep(
@@ -134,12 +144,16 @@ def run_fig6_sycamore(
         hardware, _ = sycamore_landscape(kind, seed=seed)
         grid = hardware.grid
         rng = np.random.default_rng(seed + 17)
-        series = []
+        # Sample every fraction first (same RNG draw order as the old
+        # serial loop), then reconstruct the whole sweep in one batch.
+        reconstructor = OscarReconstructor(grid, rng=rng)
+        sample_sets = []
         for fraction in fractions:
-            reconstructor = OscarReconstructor(grid, rng=rng)
             indices = reconstructor.sample_indices(fraction)
-            values = hardware.flat()[indices]
-            reconstruction, _ = reconstructor.reconstruct_from_samples(indices, values)
-            series.append((fraction, nrmse(hardware.values, reconstruction.values)))
-        curves[kind] = series
+            sample_sets.append((indices, hardware.flat()[indices]))
+        reconstructions = reconstructor.reconstruct_many(sample_sets)
+        curves[kind] = [
+            (fraction, nrmse(hardware.values, reconstruction.values))
+            for fraction, (reconstruction, _) in zip(fractions, reconstructions)
+        ]
     return curves

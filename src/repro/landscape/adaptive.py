@@ -37,6 +37,7 @@ def holdout_error_estimate(
     values: np.ndarray,
     holdout_fraction: float = 0.25,
     rng: np.random.Generator | None = None,
+    warm_start: np.ndarray | None = None,
 ) -> float:
     """Cross-validated NRMSE-style error estimate from samples alone.
 
@@ -44,7 +45,28 @@ def holdout_error_estimate(
     scores the prediction on the held-out samples, normalising by the
     interquartile range of the held-out values (mirroring Eq. 1's
     normalisation so estimates are comparable to true NRMSE values).
+
+    ``warm_start`` (a coefficient array from a previous round's
+    reconstruction) seeds the internal solve; the adaptive loop uses it
+    to make its repeated holdout solves converge in far fewer FISTA
+    iterations.
     """
+    estimate, _ = _holdout_estimate_with_landscape(
+        reconstructor, flat_indices, values, holdout_fraction, rng, warm_start
+    )
+    return estimate
+
+
+def _holdout_estimate_with_landscape(
+    reconstructor: OscarReconstructor,
+    flat_indices: np.ndarray,
+    values: np.ndarray,
+    holdout_fraction: float = 0.25,
+    rng: np.random.Generator | None = None,
+    warm_start: np.ndarray | None = None,
+) -> tuple[float, Landscape]:
+    """Holdout estimate plus the internal reconstruction (for reuse as
+    the next round's warm start)."""
     if not 0.0 < holdout_fraction < 1.0:
         raise ValueError("holdout fraction must be in (0, 1)")
     rng = rng or np.random.default_rng()
@@ -56,7 +78,8 @@ def holdout_error_estimate(
     held = permutation[:holdout_size]
     kept = permutation[holdout_size:]
     landscape, _ = reconstructor.reconstruct_from_samples(
-        flat_indices[kept], values[kept], label="holdout-recon"
+        flat_indices[kept], values[kept], label="holdout-recon",
+        warm_start=warm_start,
     )
     predicted = landscape.flat()[flat_indices[held]]
     actual = values[held]
@@ -64,8 +87,8 @@ def holdout_error_estimate(
     q1, q3 = np.percentile(values, (25, 75))
     iqr = q3 - q1
     if iqr <= 1e-12 * max(1.0, float(np.abs(values).max())):
-        return 0.0 if rms < 1e-12 else float("inf")
-    return rms / iqr
+        return (0.0 if rms < 1e-12 else float("inf")), landscape
+    return rms / iqr, landscape
 
 
 @dataclass(frozen=True)
@@ -124,7 +147,10 @@ def adaptive_reconstruct(
     """Reconstruct with automatically chosen sampling fraction.
 
     Uses the reconstructor's RNG for all draws, so runs are reproducible
-    given a seeded reconstructor.
+    given a seeded reconstructor.  Each round's holdout solve (and the
+    final full solve) is warm-started from the previous round's
+    reconstruction, so the repeated FISTA solves over growing sample
+    sets converge in a fraction of the cold-start iterations.
     """
     config = config or AdaptiveConfig()
     grid = reconstructor.grid
@@ -134,6 +160,7 @@ def adaptive_reconstruct(
     estimates: list[float] = []
     fractions: list[float] = []
     met_target = False
+    warm_start: np.ndarray | None = None
     target_count = max(8, int(round(config.initial_fraction * grid.size)))
 
     while True:
@@ -151,9 +178,10 @@ def adaptive_reconstruct(
             sampled = sampled[order]
             values = values[order]
 
-        estimate = holdout_error_estimate(
-            reconstructor, sampled, values, config.holdout_fraction, rng
+        estimate, holdout_landscape = _holdout_estimate_with_landscape(
+            reconstructor, sampled, values, config.holdout_fraction, rng, warm_start
         )
+        warm_start = reconstructor.coefficients_of(holdout_landscape)
         estimates.append(estimate)
         fractions.append(sampled.size / grid.size)
         if estimate <= config.target_error:
@@ -164,7 +192,7 @@ def adaptive_reconstruct(
         target_count = int(np.ceil(sampled.size * config.growth_factor))
 
     landscape, report = reconstructor.reconstruct_from_samples(
-        sampled, values, label="oscar-adaptive"
+        sampled, values, label="oscar-adaptive", warm_start=warm_start
     )
     return AdaptiveOutcome(
         landscape=landscape,

@@ -12,16 +12,36 @@ Fig. 3 of the paper:
 
 High-dimensional grids (p >= 2 QAOA) are reshaped to 2-D by the paper's
 axis-concatenation before reconstruction (Sec. 4.2.4).
+
+Two reconstruction paths are exposed:
+
+- :meth:`~OscarReconstructor.reconstruct_from_samples` solves a single
+  landscape through the solver registry of
+  :mod:`~repro.cs.reconstruct`; pass ``warm_start=`` (a coefficient
+  array, e.g. from :meth:`~OscarReconstructor.coefficients_of`) to seed
+  FISTA when re-solving with a grown or perturbed sample set.
+- :meth:`~OscarReconstructor.reconstruct_many` solves a whole stack of
+  sample sets in one vectorized pass through the batched
+  :class:`~repro.cs.engine.ReconstructionEngine` — the fast path for
+  experiment sweeps that reconstruct dozens of landscapes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from ..cs.reconstruct import ReconstructionConfig, reconstruct_signal
+from ..cs.dct import transform
+from ..cs.engine import ReconstructionEngine
+from ..cs.reconstruct import (
+    ReconstructionConfig,
+    reconstruct_signal,
+    validate_sample_set,
+)
 from ..cs.sampling import stratified_indices, uniform_random_indices
+from ..cs.solvers import SolverResult
 from .generator import LandscapeGenerator
 from .grid import ParameterGrid
 from .landscape import Landscape
@@ -101,29 +121,96 @@ class OscarReconstructor:
         flat_indices: np.ndarray,
         values: np.ndarray,
         label: str = "oscar-recon",
+        warm_start: np.ndarray | None = None,
     ) -> tuple[Landscape, ReconstructionReport]:
         """Phase 3 only: reconstruct from already-measured samples.
 
         This is the entry point for hardware datasets (Fig. 5/6) and the
         parallel/NCM pipeline, where execution happened elsewhere.
+
+        Args:
+            flat_indices: sampled flat grid indices (distinct).
+            values: measured values aligned with ``flat_indices``.
+            label: provenance tag for the output landscape.
+            warm_start: optional initial FISTA coefficients (the
+                reshaped-2-D coefficient array), e.g. from
+                :meth:`coefficients_of` on a previous reconstruction.
         """
-        flat_indices = np.asarray(flat_indices, dtype=int)
-        values = np.asarray(values, dtype=float).reshape(-1)
-        if flat_indices.shape[0] != values.shape[0]:
-            raise ValueError("indices and values must have matching lengths")
-        if not np.all(np.isfinite(values)):
-            bad = int(np.sum(~np.isfinite(values)))
-            raise ValueError(
-                f"{bad} sample value(s) are non-finite; failed circuit "
-                "executions must be dropped (see eager reconstruction) "
-                "before reconstructing"
-            )
-        if np.unique(flat_indices).shape[0] != flat_indices.shape[0]:
-            raise ValueError("sample indices contain duplicates")
+        flat_indices, values = self._validated_samples(flat_indices, values)
         shape = self.grid.reshaped_2d_shape()
         signal, solver_result = reconstruct_signal(
-            shape, flat_indices, values, self.config
+            shape, flat_indices, values, self.config, warm_start
         )
+        return self._package(signal, solver_result, flat_indices, label)
+
+    def reconstruct_many(
+        self,
+        sample_sets: Sequence[tuple[np.ndarray, np.ndarray]],
+        labels: Sequence[str] | None = None,
+        warm_starts: Sequence[np.ndarray | None] | None = None,
+    ) -> list[tuple[Landscape, ReconstructionReport]]:
+        """Reconstruct many sample sets in one batched engine pass.
+
+        All sample sets share this reconstructor's grid and solver
+        configuration; the engine stacks them along a leading axis and
+        runs a single vectorized FISTA loop with per-landscape
+        convergence masks (see :mod:`repro.cs.engine`).  Results match
+        the serial :meth:`reconstruct_from_samples` per problem.
+
+        Args:
+            sample_sets: ``(flat_indices, values)`` per landscape.
+            labels: optional provenance tags, one per sample set.
+            warm_starts: optional per-landscape initial coefficients.
+
+        Returns:
+            ``(landscape, report)`` pairs in input order.
+        """
+        if labels is not None and len(labels) != len(sample_sets):
+            raise ValueError("need one label per sample set")
+        # The engine validates every problem (lengths, range,
+        # duplicates, finiteness) — no need to repeat it here.  Indices
+        # are flattened exactly as the validator flattens them so the
+        # packaged reports count samples the same way.
+        sample_sets = [
+            (np.asarray(flat_indices, dtype=int).reshape(-1), values)
+            for flat_indices, values in sample_sets
+        ]
+        shape = self.grid.reshaped_2d_shape()
+        engine = ReconstructionEngine(shape, self.config)
+        solved = engine.solve(sample_sets, warm_starts)
+        output = []
+        for position, (signal, solver_result) in enumerate(solved):
+            label = labels[position] if labels is not None else "oscar-recon"
+            output.append(
+                self._package(
+                    signal, solver_result, sample_sets[position][0], label
+                )
+            )
+        return output
+
+    def coefficients_of(self, landscape: Landscape) -> np.ndarray:
+        """Basis coefficients of a landscape (for warm-starting).
+
+        Because the basis is orthonormal, the forward transform of a
+        reconstructed landscape is exactly the solver's coefficient
+        array — pass it as ``warm_start`` to a follow-up solve.
+        """
+        return transform(landscape.reshaped_2d(), self.config.basis)
+
+    # -- internals -----------------------------------------------------------
+
+    def _validated_samples(
+        self, flat_indices: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return validate_sample_set(self.grid.size, flat_indices, values)
+
+    def _package(
+        self,
+        signal: np.ndarray,
+        solver_result: SolverResult,
+        flat_indices: np.ndarray,
+        label: str,
+    ) -> tuple[Landscape, ReconstructionReport]:
         landscape = Landscape(
             self.grid,
             signal.reshape(self.grid.shape),

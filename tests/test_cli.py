@@ -85,6 +85,24 @@ def test_adaptive_command(capsys):
     assert "met" in output
 
 
+def test_batch_command(capsys):
+    code = main(
+        [
+            "batch",
+            "--qubits", "6",
+            "--resolution", "16", "32",
+            "--fractions", "0.08", "0.12", "0.2",
+            "--compare-serial",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "stack: 3 landscapes" in output
+    assert "batched engine" in output
+    assert "serial loop" in output
+    assert output.count("NRMSE") == 3
+
+
 def test_analyze_command(capsys):
     code = main(
         ["analyze", "--qubits", "6", "--resolution", "16", "32", "--fraction", "0.15"]

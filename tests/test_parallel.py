@@ -147,6 +147,34 @@ def test_sampler_default_even_split(two_qpu_setup):
     counts = np.bincount(batch.device_of_sample, minlength=2)
     assert counts[0] == 20
     assert counts[1] == 20
+    assert batch.training_latencies.size == 0  # no NCM -> no training jobs
+
+
+def test_sampler_accounts_training_latencies(two_qpu_setup):
+    """Regression: NCM training executions are real jobs in the batch;
+    they must appear in the latency bookkeeping and the makespan."""
+    ansatz, grid, pool = two_qpu_setup
+    sampler = ParallelSampler(pool, grid, reference="qpu1")
+    indices = np.arange(0, grid.size, 4)
+    batch = sampler.run(
+        ansatz,
+        indices,
+        fractions=[0.5, 0.5],
+        compensate=True,
+        ncm_training_fraction=0.02,
+        rng=np.random.default_rng(0),
+    )
+    training_count = max(2, int(round(0.02 * grid.size)))
+    # Reference trains once, the one secondary device trains once.
+    assert batch.training_latencies.size == 2 * training_count
+    assert batch.ncm_training_pairs == training_count
+    assert batch.makespan >= float(np.max(batch.training_latencies))
+    # completed_before drops production stragglers but must retain the
+    # training jobs — the kept values causally depend on them.
+    kept = batch.completed_before(np.median(batch.latencies))
+    assert kept.flat_indices.size < batch.flat_indices.size
+    assert np.array_equal(kept.training_latencies, batch.training_latencies)
+    assert kept.makespan >= float(np.max(batch.training_latencies))
 
 
 # -- batch / eager ----------------------------------------------------------------------
@@ -183,6 +211,48 @@ def test_eager_drops_stragglers(two_qpu_setup):
     assert outcome.samples_used + outcome.samples_dropped == indices.size
     assert outcome.time_saved_fraction > 0.3
     assert outcome.landscape.values.shape == grid.shape
+
+
+def test_eager_savings_use_surviving_makespan():
+    """Regression: the eager batch completes at the slowest *surviving*
+    job, not at the timeout — savings must be computed from that."""
+    reconstructor = OscarReconstructor(qaoa_grid(p=1, resolution=(4, 6)))
+    rng = np.random.default_rng(0)
+    n = 20
+    latencies = np.concatenate([np.linspace(1.0, 7.0, n - 1), [100.0]])
+    batch = SampleBatch(
+        flat_indices=np.arange(n),
+        values=rng.normal(size=n),
+        latencies=latencies,
+        device_of_sample=np.zeros(n, dtype=int),
+    )
+    outcome = eager_reconstruct(reconstructor, batch, timeout_quantile=0.96)
+    # The quantile timeout sits between 7 and 100; the survivors all
+    # finished by 7.0, so that is the eager makespan.
+    assert outcome.eager_makespan == pytest.approx(7.0)
+    assert outcome.eager_makespan <= outcome.timeout_seconds
+    assert outcome.time_saved_fraction == pytest.approx(1.0 - 7.0 / 100.0)
+
+
+def test_eager_waits_for_ncm_training_jobs():
+    """When compensation ran, the surviving values embed the training
+    outputs — eager cannot complete before the slowest training job."""
+    reconstructor = OscarReconstructor(qaoa_grid(p=1, resolution=(4, 6)))
+    rng = np.random.default_rng(1)
+    n = 20
+    latencies = np.concatenate([np.linspace(1.0, 7.0, n - 1), [100.0]])
+    batch = SampleBatch(
+        flat_indices=np.arange(n),
+        values=rng.normal(size=n),
+        latencies=latencies,
+        device_of_sample=np.zeros(n, dtype=int),
+        ncm_training_pairs=3,
+        training_latencies=np.array([2.0, 30.0, 4.0]),
+    )
+    outcome = eager_reconstruct(reconstructor, batch, timeout_quantile=0.96)
+    assert outcome.eager_makespan == pytest.approx(30.0)
+    assert outcome.full_makespan == pytest.approx(100.0)
+    assert outcome.time_saved_fraction == pytest.approx(1.0 - 30.0 / 100.0)
 
 
 def test_eager_quality_degrades_gracefully(two_qpu_setup):

@@ -50,7 +50,33 @@ def test_stratified_indices_cover_grid():
     indices = stratified_indices(1000, 0.1, rng)
     # One sample per stratum of width 10: every decade is hit.
     strata = indices // 10
-    assert len(np.unique(strata)) == pytest.approx(100, abs=2)
+    assert len(np.unique(strata)) == 100
+
+
+@given(
+    grid_size=st.integers(2, 5000),
+    fraction=st.floats(0.001, 1.0),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60)
+def test_stratified_indices_exact_count(grid_size, fraction, seed):
+    """Regression: overlapping strata used to collapse duplicate draws
+    under np.unique, silently undershooting the requested fraction.
+    Strata are now disjoint, so the sampler returns exactly the
+    requested number of distinct, in-range, sorted indices."""
+    rng = np.random.default_rng(seed)
+    indices = stratified_indices(grid_size, fraction, rng)
+    expected = sample_count_for_fraction(grid_size, fraction)
+    assert indices.shape[0] == expected
+    assert len(np.unique(indices)) == expected
+    assert indices.min() >= 0 and indices.max() < grid_size
+    assert np.all(np.diff(indices) > 0)
+
+
+def test_stratified_indices_full_fraction_is_permutation_free():
+    """fraction=1.0 must return every grid index exactly once."""
+    indices = stratified_indices(64, 1.0, np.random.default_rng(1))
+    assert np.array_equal(indices, np.arange(64))
 
 
 def test_flat_to_grid_indices_roundtrip():

@@ -107,6 +107,77 @@ def test_fista_objective_is_finite():
     assert np.isfinite(result.objective)
 
 
+def test_fista_warm_start_fewer_iterations():
+    """Seeding with a previous solution must cut the iteration count."""
+    shape = (12, 12)
+    _, _, _, forward, adjoint, y = sparse_problem(shape, 5, 70, seed=6)
+    cold = fista_lasso(forward, adjoint, y, shape, max_iterations=800)
+    warm = fista_lasso(
+        forward, adjoint, y, shape, max_iterations=800, initial=cold.coefficients
+    )
+    assert warm.iterations < cold.iterations
+    assert np.allclose(warm.coefficients, cold.coefficients, atol=1e-4)
+
+
+def test_fista_adaptive_restart_recovers():
+    shape = (12, 12)
+    _, signal, _, forward, adjoint, y = sparse_problem(shape, 5, 70, seed=8)
+    result = fista_lasso(
+        forward, adjoint, y, shape, max_iterations=800, adaptive_restart=True
+    )
+    recovered = idct_transform(result.coefficients)
+    assert np.linalg.norm(recovered - signal) / np.linalg.norm(signal) < 0.05
+
+
+def test_fista_backtracking_line_search():
+    """lipschitz=None enables backtracking and still recovers — even
+    when the true Lipschitz constant is not 1 (scaled operator)."""
+    shape = (10, 10)
+    _, signal, _, forward, adjoint, y = sparse_problem(shape, 4, 55, seed=9)
+
+    def scaled_forward(coefficients):
+        return 3.0 * forward(coefficients)
+
+    def scaled_adjoint(residual):
+        return 3.0 * adjoint(residual)
+
+    result = fista_lasso(
+        scaled_forward,
+        scaled_adjoint,
+        3.0 * y,
+        shape,
+        max_iterations=1500,
+        lipschitz=None,
+    )
+    recovered = idct_transform(result.coefficients)
+    assert np.linalg.norm(recovered - signal) / np.linalg.norm(signal) < 0.05
+
+
+def test_auto_lambda_respects_penalize_dc():
+    from repro.cs import auto_lambda
+
+    correlation = np.array([10.0, 1.0, 0.5])
+    assert auto_lambda(correlation, penalize_dc=False) == pytest.approx(0.01)
+    assert auto_lambda(correlation, penalize_dc=True) == pytest.approx(0.1)
+
+
+def test_dst_basis_penalizes_flat_index_zero():
+    """Under the DST there is no DC term, so index 0 must be shrunk
+    like any other coefficient (the auto-lam/DC bugfix)."""
+    from repro.cs import ReconstructionConfig, reconstruct_signal
+
+    shape = (8, 8)
+    rng = np.random.default_rng(10)
+    indices = np.sort(rng.choice(64, size=30, replace=False))
+    values = rng.normal(size=30)
+    config = ReconstructionConfig(basis="dst", lam=50.0, max_iterations=200)
+    _, result = reconstruct_signal(shape, indices, values, config)
+    # A huge penalty with full shrinkage drives *every* coefficient,
+    # including flat index 0, to zero.
+    assert result.coefficients[0, 0] == 0.0
+    assert np.allclose(result.coefficients, 0.0)
+
+
 # -- OMP --------------------------------------------------------------------------
 
 
