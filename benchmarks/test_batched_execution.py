@@ -1,0 +1,99 @@
+"""Microbenchmark: batched landscape generation vs the serial loop.
+
+The acceptance bar for the batched execution layer is concrete: on a
+Table-1-sized QAOA grid (p=1, 50 x 100 = 5000 circuit executions) the
+batched ``grid_search`` must (a) reproduce the serial point-at-a-time
+loop to machine precision (<= 1e-10) and (b) run at least 3x faster.
+The grid uses the 10-qubit 3-regular MaxCut workhorse the speedup and
+mitigation studies run on.
+
+Under CI (or ``OSCAR_BENCH_SMOKE=1``) the benchmark runs as a smoke
+test on a reduced grid: the equivalence check is enforced either way,
+but the wall-clock bar is skipped because shared runners are too noisy
+for a hard timing gate (the same policy as ``test_batched_engine``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _util import emit, format_table
+from repro.ansatz import QaoaAnsatz
+from repro.landscape import LandscapeGenerator, cost_function, qaoa_grid
+from repro.problems import random_3_regular_maxcut
+
+SMOKE = bool(os.environ.get("OSCAR_BENCH_SMOKE") or os.environ.get("CI"))
+NUM_QUBITS = 8 if SMOKE else 10
+RESOLUTION = (20, 40) if SMOKE else (50, 100)  # Table 1: 50 x 100
+REPEATS = 1 if SMOKE else 2
+SPEEDUP_BAR = 3.0
+
+
+def test_batched_grid_search_speedup():
+    problem = random_3_regular_maxcut(NUM_QUBITS, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=RESOLUTION)
+    function = cost_function(ansatz)
+    generator = LandscapeGenerator(function, grid)
+    points = grid.points_from_flat(np.arange(grid.size))
+
+    serial_seconds = float("inf")
+    batched_seconds = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        serial = np.array([function(point) for point in points])
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        landscape = generator.grid_search()
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
+
+    # (a) equivalence with the serial loop, to machine precision.
+    max_difference = float(np.abs(landscape.flat() - serial).max())
+    assert max_difference <= 1e-10, (
+        f"batched grid search deviates from the serial loop by "
+        f"{max_difference:.3e}"
+    )
+
+    speedup = serial_seconds / batched_seconds
+    emit(
+        "batched_execution",
+        format_table(
+            ["metric", "value"],
+            [
+                ("qubits", NUM_QUBITS),
+                ("grid shape", f"{RESOLUTION[0]}x{RESOLUTION[1]}"),
+                ("circuit executions", grid.size),
+                ("serial loop (s)", serial_seconds),
+                ("batched grid search (s)", batched_seconds),
+                ("speedup", speedup),
+                ("max |batched - serial|", max_difference),
+                ("smoke run", SMOKE),
+            ],
+        ),
+    )
+    # (b) the >= 3x wall-clock bar.  Shared CI runners are too noisy
+    # for a hard timing gate (and pytest -x would abort the suite on a
+    # timing flake), so the bar is enforced outside CI only; the
+    # equivalence check above ran either way.
+    if SMOKE:
+        return
+    assert speedup >= SPEEDUP_BAR, (
+        f"batched speedup {speedup:.2f}x below the {SPEEDUP_BAR}x bar"
+    )
+
+
+def test_batched_sampled_indices_match_grid_values():
+    """OSCAR's sampled-evaluation path rides the same batched chunks:
+    values at sampled indices must equal the dense grid's values."""
+    problem = random_3_regular_maxcut(NUM_QUBITS, seed=1)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=RESOLUTION)
+    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    landscape = generator.grid_search()
+    rng = np.random.default_rng(2)
+    indices = np.sort(rng.choice(grid.size, size=grid.size // 20, replace=False))
+    values = generator.evaluate_indices(indices)
+    assert np.abs(values - landscape.flat()[indices]).max() <= 1e-10

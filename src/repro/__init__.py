@@ -68,7 +68,8 @@ from .problems import (
     random_3_regular_maxcut,
     sk_problem,
 )
-from .quantum import NoiseModel, QuantumCircuit, Statevector
+from .quantum import BatchedStatevector, NoiseModel, QuantumCircuit, Statevector
+from .utils import ensure_rng
 
 __version__ = "1.0.0"
 
@@ -102,6 +103,8 @@ __all__ = [
     "NoiseCompensationModel",
     "ParallelSampler",
     "eager_reconstruct",
+    "BatchedStatevector",
+    "ensure_rng",
     "IsingProblem",
     "PauliString",
     "PauliSum",

@@ -4,6 +4,17 @@ An :class:`Ansatz` couples a parametric circuit factory with the
 observable whose expectation defines the cost function.  The landscape
 layer only ever talks to this interface, so QAOA (diagonal cost, fast
 path) and VQE-style ansatzes (Pauli-sum cost) are interchangeable.
+
+Two evaluation granularities are exposed:
+
+- :meth:`Ansatz.expectation` — one parameter point;
+- :meth:`Ansatz.expectation_many` — a whole ``(B, num_parameters)``
+  batch of points.  The base implementation is a serial loop, so every
+  ansatz supports the batched interface; subclasses with a vectorized
+  execution path (QAOA's diagonal-phase fast path over a
+  :class:`~repro.quantum.batched.BatchedStatevector`) override it for
+  the wall-clock win while preserving the loop's semantics, including
+  rng draw order.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ import numpy as np
 from ..quantum.circuit import QuantumCircuit
 from ..quantum.noise import NoiseModel
 from ..quantum.statevector import Statevector
+from ..utils import ensure_rng
 
 __all__ = ["Ansatz"]
 
@@ -51,6 +63,45 @@ class Ansatz(abc.ABC):
             rng: random generator for shot/trajectory sampling.
         """
 
+    def expectation_many(
+        self,
+        parameters_batch: Sequence[Sequence[float]] | np.ndarray,
+        noise: NoiseModel | None = None,
+        shots: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Cost-function values for a batch of parameter points.
+
+        The generic implementation loops :meth:`expectation` row by row
+        and exists so every ansatz can be driven through the batched
+        execution layer; ansatzes with a vectorized simulation path
+        override it.  Stochastic requests (``shots``) consume ``rng``
+        one row at a time in batch order, so a serial loop over
+        :meth:`expectation` with the same generator produces the same
+        draws.
+
+        Args:
+            parameters_batch: ``(B, num_parameters)`` array-like of
+                parameter vectors (a single flat vector is promoted to
+                a batch of one).
+            noise: optional noise model shared by all rows.
+            shots: if given, add measurement shot noise per row.
+            rng: random generator shared across the batch.
+
+        Returns:
+            The ``(B,)`` array of cost values, row-aligned with the
+            input batch.
+        """
+        batch = self._validate_batch(parameters_batch)
+        if shots is not None:
+            rng = ensure_rng(rng)
+        return np.array(
+            [
+                self.expectation(row, noise=noise, shots=shots, rng=rng)
+                for row in batch
+            ]
+        )
+
     def parameter_names(self) -> list[str]:
         """Stable display names for the parameters (default: p0..pk)."""
         return [f"p{i}" for i in range(self.num_parameters)]
@@ -67,3 +118,16 @@ class Ansatz(abc.ABC):
                 f"parameters, got {values.shape[0]}"
             )
         return values
+
+    def _validate_batch(
+        self, parameters_batch: Sequence[Sequence[float]] | np.ndarray
+    ) -> np.ndarray:
+        batch = np.asarray(parameters_batch, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        if batch.ndim != 2 or batch.shape[1] != self.num_parameters:
+            raise ValueError(
+                f"{type(self).__name__} expects a (B, {self.num_parameters}) "
+                f"parameter batch, got shape {batch.shape}"
+            )
+        return batch

@@ -27,6 +27,7 @@ from ..quantum.circuit import QuantumCircuit
 from ..quantum.density import simulate_density
 from ..quantum.noise import NoiseModel
 from .base import Ansatz
+from ..utils import ensure_rng
 
 __all__ = ["TwoLocalAnsatz"]
 
@@ -92,7 +93,7 @@ class TwoLocalAnsatz(Ansatz):
                 value = self.hamiltonian.expectation(state)
         if shots is None:
             return value
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         # Model shot noise as Gaussian with the observable's variance
         # bound; cheap and adequate for landscape jitter studies.
         spread = self._shot_scale()

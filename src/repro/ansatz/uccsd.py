@@ -32,6 +32,7 @@ from ..quantum.circuit import QuantumCircuit
 from ..quantum.density import simulate_density
 from ..quantum.noise import NoiseModel
 from .base import Ansatz
+from ..utils import ensure_rng
 
 __all__ = ["UccsdAnsatz", "default_excitations"]
 
@@ -166,7 +167,7 @@ class UccsdAnsatz(Ansatz):
             value = self.hamiltonian.expectation(state)
         if shots is None:
             return value
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         spread = float(sum(abs(term.coefficient) for term in self.hamiltonian))
         return value + rng.normal(0.0, spread / np.sqrt(shots))
 

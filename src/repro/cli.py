@@ -45,6 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_batch_size(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--batch-size",
+            type=int,
+            default=None,
+            help="grid points per vectorized execution pass "
+            "(default: memory-capped automatic)",
+        )
+
     recon = sub.add_parser("reconstruct", help="reconstruct a QAOA landscape")
     recon.add_argument("--qubits", type=int, default=10)
     recon.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
@@ -53,22 +62,26 @@ def build_parser() -> argparse.ArgumentParser:
     recon.add_argument("--noisy", action="store_true", help="add depolarizing noise")
     recon.add_argument("--seed", type=int, default=0)
     recon.add_argument("--render", action="store_true", help="print ASCII heatmaps")
+    add_batch_size(recon)
 
     syc = sub.add_parser("sycamore", help="reconstruct a synthetic Sycamore landscape")
     syc.add_argument("--kind", choices=("mesh", "3-regular", "sk"), default="sk")
     syc.add_argument("--fraction", type=float, default=0.41)
     syc.add_argument("--seed", type=int, default=0)
     syc.add_argument("--render", action="store_true")
+    add_batch_size(syc)
 
     speed = sub.add_parser("speedup", help="measure the headline speedup")
     speed.add_argument("--qubits", type=int, default=10)
     speed.add_argument("--target-nrmse", type=float, default=0.05)
     speed.add_argument("--seed", type=int, default=0)
+    add_batch_size(speed)
 
     sparse = sub.add_parser("sparsity", help="DCT sparsity of a landscape")
     sparse.add_argument("--qubits", type=int, default=10)
     sparse.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
     sparse.add_argument("--seed", type=int, default=0)
+    add_batch_size(sparse)
 
     adaptive = sub.add_parser(
         "adaptive", help="reconstruct with automatically chosen sampling fraction"
@@ -78,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     adaptive.add_argument("--target-error", type=float, default=0.1)
     adaptive.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
     adaptive.add_argument("--seed", type=int, default=0)
+    add_batch_size(adaptive)
 
     analyze = sub.add_parser(
         "analyze", help="landscape analysis: plateaus, local minima, symmetry"
@@ -87,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--fraction", type=float, default=0.08)
     analyze.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
     analyze.add_argument("--seed", type=int, default=0)
+    add_batch_size(analyze)
 
     batch = sub.add_parser(
         "batch",
@@ -108,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also time the serial per-landscape path",
     )
+    add_batch_size(batch)
     return parser
 
 
@@ -122,7 +138,9 @@ def _command_reconstruct(args: argparse.Namespace) -> int:
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
     noise = NoiseModel(p1=0.003, p2=0.007) if args.noisy else None
-    generator = LandscapeGenerator(cost_function(ansatz, noise=noise), grid)
+    generator = LandscapeGenerator(
+        cost_function(ansatz, noise=noise), grid, batch_size=args.batch_size
+    )
     truth = generator.grid_search(label="grid-search")
     oscar = OscarReconstructor(grid, rng=args.seed)
     reconstruction, report = oscar.reconstruct(generator, args.fraction)
@@ -138,7 +156,9 @@ def _command_reconstruct(args: argparse.Namespace) -> int:
 
 
 def _command_sycamore(args: argparse.Namespace) -> int:
-    hardware, _ = sycamore_landscape(args.kind, seed=args.seed)
+    hardware, _ = sycamore_landscape(
+        args.kind, seed=args.seed, batch_size=args.batch_size
+    )
     oscar = OscarReconstructor(hardware.grid, rng=args.seed)
     indices = oscar.sample_indices(args.fraction)
     reconstruction, report = oscar.reconstruct_from_samples(
@@ -156,7 +176,10 @@ def _command_sycamore(args: argparse.Namespace) -> int:
 
 def _command_speedup(args: argparse.Namespace) -> int:
     result = measure_speedup(
-        num_qubits=args.qubits, target_nrmse=args.target_nrmse, seed=args.seed
+        num_qubits=args.qubits,
+        target_nrmse=args.target_nrmse,
+        seed=args.seed,
+        batch_size=args.batch_size,
     )
     print(
         f"grid: {result.grid_executions} executions  "
@@ -171,7 +194,9 @@ def _command_sparsity(args: argparse.Namespace) -> int:
     problem = _problem(args.problem, args.qubits, args.seed)
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=(30, 60))
-    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    generator = LandscapeGenerator(
+        cost_function(ansatz), grid, batch_size=args.batch_size
+    )
     truth = generator.grid_search()
     fraction = truth.dct_sparsity()
     print(
@@ -187,7 +212,9 @@ def _command_adaptive(args: argparse.Namespace) -> int:
     problem = _problem(args.problem, args.qubits, args.seed)
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
-    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    generator = LandscapeGenerator(
+        cost_function(ansatz), grid, batch_size=args.batch_size
+    )
     oscar = OscarReconstructor(grid, rng=args.seed)
     outcome = adaptive_reconstruct(
         oscar, generator, AdaptiveConfig(target_error=args.target_error)
@@ -218,7 +245,9 @@ def _command_analyze(args: argparse.Namespace) -> int:
     problem = _problem(args.problem, args.qubits, args.seed)
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
-    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    generator = LandscapeGenerator(
+        cost_function(ansatz), grid, batch_size=args.batch_size
+    )
     oscar = OscarReconstructor(grid, rng=args.seed)
     landscape, report = oscar.reconstruct(generator, args.fraction)
     minima = find_local_minima(landscape)
@@ -239,7 +268,9 @@ def _command_batch(args: argparse.Namespace) -> int:
     problem = _problem(args.problem, args.qubits, args.seed)
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
-    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    generator = LandscapeGenerator(
+        cost_function(ansatz), grid, batch_size=args.batch_size
+    )
     truth = generator.grid_search(label="grid-search")
     oscar = OscarReconstructor(grid, rng=args.seed)
     sample_sets = []

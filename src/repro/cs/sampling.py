@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..utils import ensure_rng
+
 __all__ = [
     "sample_count_for_fraction",
     "uniform_random_indices",
@@ -32,7 +34,7 @@ def uniform_random_indices(
     rng: np.random.Generator | None = None,
 ) -> np.ndarray:
     """Uniformly random distinct flat indices (the paper's scheme)."""
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     count = sample_count_for_fraction(grid_size, fraction)
     return np.sort(rng.choice(grid_size, size=count, replace=False))
 
@@ -50,7 +52,7 @@ def stratified_indices(
     sampling fraction always matches the requested one).  Used by the
     sampling-scheme ablation benchmark.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     count = sample_count_for_fraction(grid_size, fraction)
     # Integer stratum edges: strictly increasing (count <= grid_size),
     # so strata are disjoint, non-empty, and tile [0, grid_size).

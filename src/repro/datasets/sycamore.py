@@ -105,6 +105,7 @@ def sycamore_landscape(
     kind: str,
     seed: int = 0,
     config: SycamoreConfig | None = None,
+    batch_size: int | None = None,
 ) -> tuple[Landscape, Landscape]:
     """Generate a (hardware-like, ideal) landscape pair.
 
@@ -114,6 +115,8 @@ def sycamore_landscape(
         config: generator knobs; problem-specific noise defaults are
             applied on top of :class:`SycamoreConfig` defaults unless a
             custom config is supplied.
+        batch_size: grid points per vectorized execution pass for the
+            underlying ideal landscape (``None`` = memory-capped default).
 
     Returns:
         ``(hardware, ideal)`` landscapes on the same 50 x 50 grid.
@@ -124,7 +127,7 @@ def sycamore_landscape(
     problem = _problem_instance(kind, config.num_qubits, seed)
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=(config.resolution, config.resolution))
-    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    generator = LandscapeGenerator(cost_function(ansatz), grid, batch_size=batch_size)
     ideal = generator.grid_search(label=f"sycamore-{kind}-ideal")
 
     values = ideal.values

@@ -48,6 +48,7 @@ def _mixed_reconstruction_error(
     total_fraction: float,
     training_fraction: float,
     seed: int,
+    batch_size: int | None = None,
 ) -> tuple[float, float]:
     """NRMSE (uncompensated, compensated) for one device pair/split."""
     problem = random_3_regular_maxcut(num_qubits, seed=seed)
@@ -56,7 +57,7 @@ def _mixed_reconstruction_error(
 
     # QPU-1's true landscape is the reference (exact noisy expectation).
     reference_generator = LandscapeGenerator(
-        cost_function(ansatz, noise=qpu1_noise), grid
+        cost_function(ansatz, noise=qpu1_noise), grid, batch_size=batch_size
     )
     reference = reference_generator.grid_search(label="qpu1-truth")
 
@@ -98,6 +99,7 @@ def run_fig8_sweep(
     total_fraction: float = 0.10,
     training_fraction: float = 0.01,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[NcmSweepPoint]:
     """Fig. 8: NRMSE vs QPU-1 sample share, +/- compensation.
 
@@ -116,6 +118,7 @@ def run_fig8_sweep(
                 total_fraction,
                 training_fraction,
                 seed,
+                batch_size=batch_size,
             )
             points.append(
                 NcmSweepPoint(
@@ -157,6 +160,7 @@ def run_table5(
     shots: int | None = 2048,
     ncm_training_fraction: float = 0.04,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[Table5Row]:
     """Table 5: device/simulator source combinations, +/- NCM.
 
@@ -179,7 +183,7 @@ def run_table5(
             return shots if profile_name.startswith("ibm") else None
 
         reference_generator = LandscapeGenerator(
-            cost_function(ansatz, noise=noise1), grid
+            cost_function(ansatz, noise=noise1), grid, batch_size=batch_size
         )
         reference = reference_generator.grid_search()
 

@@ -72,6 +72,7 @@ def run_endpoint_distance_study(
     resolution: tuple[int, int] = (20, 40),
     sampling_fraction: float = 0.10,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[EndpointDistance]:
     """Fig. 12: endpoint distance, surrogate vs circuit optimization.
 
@@ -88,7 +89,7 @@ def run_endpoint_distance_study(
             grid = qaoa_grid(p=1, resolution=resolution)
             active_noise = noise if noisy else None
             generator = LandscapeGenerator(
-                cost_function(ansatz, noise=active_noise), grid
+                cost_function(ansatz, noise=active_noise), grid, batch_size=batch_size
             )
             reconstructor = OscarReconstructor(grid, rng=instance_seed)
             reconstruction, _ = reconstructor.reconstruct(generator, sampling_fraction)
@@ -139,6 +140,7 @@ def run_optimizer_choice(
     sampling_fraction: float = 0.15,
     num_starts: int = 1,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[OptimizerChoiceResult]:
     """Fig. 13: ADAM vs COBYLA on a Richardson-mitigated landscape.
 
@@ -155,7 +157,7 @@ def run_optimizer_choice(
     grid = qaoa_grid(p=1, resolution=resolution)
     rng = np.random.default_rng(seed)
     function = zne_cost_function(ansatz, noise, RICHARDSON, shots=shots, rng=rng)
-    generator = LandscapeGenerator(function, grid)
+    generator = LandscapeGenerator(function, grid, batch_size=batch_size)
     reconstructor = OscarReconstructor(grid, rng=seed)
     reconstruction, _ = reconstructor.reconstruct(generator, sampling_fraction)
     start_rng = np.random.default_rng(seed + 1)
@@ -199,6 +201,7 @@ def run_table6_initialization(
     resolution: tuple[int, int] = (16, 32),
     sampling_fraction: float = 0.08,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[Table6Row]:
     """Table 6: QPU queries with random vs OSCAR initialization.
 
@@ -222,7 +225,7 @@ def run_table6_initialization(
                 grid = qaoa_grid(p=1, resolution=resolution)
                 active_noise = FIG4_NOISE if noisy else None
                 generator = LandscapeGenerator(
-                    cost_function(ansatz, noise=active_noise), grid
+                    cost_function(ansatz, noise=active_noise), grid, batch_size=batch_size
                 )
                 rng = np.random.default_rng(instance_seed + 13)
 

@@ -47,6 +47,7 @@ def _instance_errors(
     scale: ExperimentScale,
     seed: int,
     shots: int | None,
+    batch_size: int | None = None,
 ) -> np.ndarray:
     """Per-instance NRMSE; sampling/execution stay per-instance (seeded
     identically to the serial path) while the reconstructions of all
@@ -60,7 +61,9 @@ def _instance_errors(
         ansatz = QaoaAnsatz(problem, p=p)
         rng = np.random.default_rng(seed + 57 * instance)
         generator = LandscapeGenerator(
-            cost_function(ansatz, noise=noise, shots=shots, rng=rng), grid
+            cost_function(ansatz, noise=noise, shots=shots, rng=rng),
+            grid,
+            batch_size=batch_size,
         )
         truths.append(generator.grid_search())
         reconstructor = OscarReconstructor(grid, rng=seed + 101 * instance)
@@ -82,6 +85,7 @@ def run_fig4_sweep(
     qubit_counts: tuple[int, ...] | None = None,
     shots: int | None = 4096,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[FractionSweepPoint]:
     """One panel of Fig. 4: quartile NRMSE vs sampling fraction.
 
@@ -97,6 +101,8 @@ def run_fig4_sweep(
         shots: shots per expectation in the noisy setting (ideal panels
             always use exact expectations, as in the paper).
         seed: base seed; instances use ``seed + i``.
+        batch_size: grid points per vectorized execution pass (``None``
+            picks the memory-capped default).
     """
     noise = FIG4_NOISE if noisy else None
     if qubit_counts is None:
@@ -113,6 +119,7 @@ def run_fig4_sweep(
                 scale,
                 seed,
                 shots if noisy else None,
+                batch_size=batch_size,
             )
             q1, median, q3 = np.percentile(errors, (25, 50, 75))
             points.append(

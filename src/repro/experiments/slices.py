@@ -19,8 +19,9 @@ from ..ansatz.base import Ansatz
 from ..landscape.generator import LandscapeGenerator
 from ..landscape.grid import GridAxis, ParameterGrid
 from ..quantum.noise import NoiseModel
+from ..utils import ensure_rng
 
-__all__ = ["SliceSpec", "random_slice", "slice_generator"]
+__all__ = ["SliceSpec", "SliceCostFunction", "random_slice", "slice_generator"]
 
 
 @dataclass(frozen=True)
@@ -55,7 +56,7 @@ def random_slice(
             frozen values.
         rng: random generator.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if ansatz.num_parameters < 2:
         raise ValueError("slicing needs an ansatz with at least two parameters")
     low, high = parameter_range
@@ -73,19 +74,70 @@ def random_slice(
     return SliceSpec(varying=varying, fixed_values=fixed_values, grid=grid)
 
 
+class SliceCostFunction:
+    """Cost over a 2-D slice: freeze all but two parameters of an ansatz.
+
+    Batch-capable like
+    :class:`~repro.landscape.generator.AnsatzCostFunction`: slice points
+    are embedded into full parameter vectors and forwarded to
+    :meth:`~repro.ansatz.base.Ansatz.expectation_many`, so QAOA slices
+    ride the vectorized execution path (other ansatzes fall back to the
+    base class's serial loop with unchanged semantics).
+    """
+
+    def __init__(
+        self,
+        ansatz: Ansatz,
+        spec: SliceSpec,
+        noise: NoiseModel | None = None,
+        shots: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.ansatz = ansatz
+        self.spec = spec
+        self.noise = noise
+        self.shots = shots
+        self.rng = rng
+
+    @property
+    def num_qubits(self) -> int:
+        """Width of the underlying circuit (drives batch sizing)."""
+        return self.ansatz.num_qubits
+
+    def _embed(self, slice_points: np.ndarray) -> np.ndarray:
+        """Expand ``(m, 2)`` slice points into full parameter vectors."""
+        full = np.tile(self.spec.fixed_values, (slice_points.shape[0], 1))
+        full[:, self.spec.varying[0]] = slice_points[:, 0]
+        full[:, self.spec.varying[1]] = slice_points[:, 1]
+        return full
+
+    def __call__(self, slice_point: np.ndarray) -> float:
+        """Cost at one 2-D slice point."""
+        full = self.spec.fixed_values.copy()
+        full[self.spec.varying[0]] = slice_point[0]
+        full[self.spec.varying[1]] = slice_point[1]
+        return self.ansatz.expectation(
+            full, noise=self.noise, shots=self.shots, rng=self.rng
+        )
+
+    def many(self, slice_points: np.ndarray) -> np.ndarray:
+        """Cost values for an ``(m, 2)`` batch of slice points."""
+        return self.ansatz.expectation_many(
+            self._embed(np.asarray(slice_points, dtype=float)),
+            noise=self.noise,
+            shots=self.shots,
+            rng=self.rng,
+        )
+
+
 def slice_generator(
     ansatz: Ansatz,
     spec: SliceSpec,
     noise: NoiseModel | None = None,
     shots: int | None = None,
     rng: np.random.Generator | None = None,
+    batch_size: int | None = None,
 ) -> LandscapeGenerator:
-    """A :class:`LandscapeGenerator` over the slice's 2-D grid."""
-
-    def evaluate(slice_point: np.ndarray) -> float:
-        full = spec.fixed_values.copy()
-        full[spec.varying[0]] = slice_point[0]
-        full[spec.varying[1]] = slice_point[1]
-        return ansatz.expectation(full, noise=noise, shots=shots, rng=rng)
-
-    return LandscapeGenerator(evaluate, spec.grid)
+    """A batch-capable :class:`LandscapeGenerator` over the slice's grid."""
+    function = SliceCostFunction(ansatz, spec, noise=noise, shots=shots, rng=rng)
+    return LandscapeGenerator(function, spec.grid, batch_size=batch_size)

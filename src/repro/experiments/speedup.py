@@ -50,6 +50,7 @@ def measure_speedup(
     target_nrmse: float = 0.05,
     fractions: tuple[float, ...] = (0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2),
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> SpeedupResult:
     """Find the smallest sampling fraction meeting the accuracy target.
 
@@ -61,7 +62,7 @@ def measure_speedup(
     problem = random_3_regular_maxcut(num_qubits, seed=seed)
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=resolution)
-    generator = LandscapeGenerator(cost_function(ansatz), grid)
+    generator = LandscapeGenerator(cost_function(ansatz), grid, batch_size=batch_size)
     truth = generator.grid_search()
 
     best: SpeedupResult | None = None

@@ -63,6 +63,7 @@ def slice_reconstruction_error(
     sampling_fraction: float = 0.35,
     repeats: int = 3,
     seed: int = 0,
+    batch_size: int | None = None,
 ) -> tuple[float, float]:
     """Median (NRMSE, DCT-sparsity) over random 2-parameter slices.
 
@@ -76,7 +77,7 @@ def slice_reconstruction_error(
     sparsities = []
     for _ in range(repeats):
         spec = random_slice(ansatz, points_per_axis, rng=rng)
-        generator = slice_generator(ansatz, spec)
+        generator = slice_generator(ansatz, spec, batch_size=batch_size)
         truth = generator.grid_search()
         reconstructor = OscarReconstructor(spec.grid, rng=rng)
         reconstruction, _ = reconstructor.reconstruct(generator, sampling_fraction)
@@ -86,7 +87,10 @@ def slice_reconstruction_error(
 
 
 def run_table2(
-    repeats: int = 3, sampling_fraction: float = 0.35, seed: int = 0
+    repeats: int = 3,
+    sampling_fraction: float = 0.35,
+    seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[SliceReconstructionRow]:
     """Table 2: QAOA vs Two-local on 4/6-qubit MaxCut and SK problems.
 
@@ -111,7 +115,7 @@ def run_table2(
             ("Two-local", _twolocal_for_params(hamiltonian, num_parameters)),
         ):
             error, sparsity = slice_reconstruction_error(
-                ansatz, points, sampling_fraction, repeats, seed
+                ansatz, points, sampling_fraction, repeats, seed, batch_size
             )
             rows.append(
                 SliceReconstructionRow(
@@ -128,7 +132,10 @@ def run_table2(
 
 
 def run_table3(
-    repeats: int = 3, sampling_fraction: float = 0.35, seed: int = 0
+    repeats: int = 3,
+    sampling_fraction: float = 0.35,
+    seed: int = 0,
+    batch_size: int | None = None,
 ) -> list[SliceReconstructionRow]:
     """Table 3: H2 and LiH with Two-local and UCCSD ansatzes.
 
@@ -148,7 +155,7 @@ def run_table3(
     rows = []
     for molecule, ansatz_name, ansatz, points in cases:
         error, sparsity = slice_reconstruction_error(
-            ansatz, points, sampling_fraction, repeats, seed
+            ansatz, points, sampling_fraction, repeats, seed, batch_size
         )
         rows.append(
             SliceReconstructionRow(
@@ -164,7 +171,9 @@ def run_table3(
     return rows
 
 
-def run_table4(repeats: int = 3, seed: int = 0) -> list[SliceReconstructionRow]:
+def run_table4(
+    repeats: int = 3, seed: int = 0, batch_size: int | None = None
+) -> list[SliceReconstructionRow]:
     """Table 4: DCT-sparsity fractions across problems and ansatzes.
 
     Reports, for every (problem, ansatz) pair the paper covers, the
@@ -178,7 +187,7 @@ def run_table4(repeats: int = 3, seed: int = 0) -> list[SliceReconstructionRow]:
         fractions = []
         for _ in range(repeats):
             spec = random_slice(ansatz, points, rng=rng)
-            truth = slice_generator(ansatz, spec).grid_search()
+            truth = slice_generator(ansatz, spec, batch_size=batch_size).grid_search()
             fractions.append(dct_sparsity(truth.values))
         return float(np.median(fractions))
 

@@ -21,6 +21,7 @@ from ..landscape.interpolate import InterpolatedLandscape
 from ..landscape.landscape import Landscape
 from ..landscape.reconstructor import OscarReconstructor
 from ..optimizers.base import Optimizer
+from ..utils import ensure_rng
 
 __all__ = ["InitializationOutcome", "OscarInitializer", "random_initial_point"]
 
@@ -68,9 +69,7 @@ class OscarInitializer:
         self.optimizer = optimizer
         self.sampling_fraction = sampling_fraction
         self.num_restarts = num_restarts
-        if isinstance(rng, (int, np.integer)):
-            rng = np.random.default_rng(int(rng))
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
 
     def choose(self, generator: LandscapeGenerator) -> InitializationOutcome:
         """Reconstruct, interpolate, minimise, return the best point."""

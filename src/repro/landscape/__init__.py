@@ -29,7 +29,7 @@ from .analysis import (
     initial_point_quality,
 )
 from .compare import LandscapeComparison, compare_landscapes
-from .generator import LandscapeGenerator, cost_function
+from .generator import AnsatzCostFunction, LandscapeGenerator, cost_function
 from .grid import GridAxis, ParameterGrid, qaoa_grid
 from .interpolate import InterpolatedLandscape
 from .landscape import Landscape
@@ -67,6 +67,7 @@ __all__ = [
     "gradient_field",
     "gradient_magnitudes",
     "initial_point_quality",
+    "AnsatzCostFunction",
     "LandscapeGenerator",
     "cost_function",
     "GridAxis",

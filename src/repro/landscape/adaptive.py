@@ -27,6 +27,7 @@ import numpy as np
 from .generator import LandscapeGenerator
 from .landscape import Landscape
 from .reconstructor import OscarReconstructor, ReconstructionReport
+from ..utils import ensure_rng
 
 __all__ = ["AdaptiveConfig", "AdaptiveOutcome", "adaptive_reconstruct", "holdout_error_estimate"]
 
@@ -69,7 +70,7 @@ def _holdout_estimate_with_landscape(
     the next round's warm start)."""
     if not 0.0 < holdout_fraction < 1.0:
         raise ValueError("holdout fraction must be in (0, 1)")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     count = flat_indices.shape[0]
     if count < 8:
         raise ValueError("need at least 8 samples for a holdout estimate")

@@ -2,13 +2,23 @@
 
 :class:`LandscapeGenerator` evaluates a cost function over a
 :class:`~repro.landscape.grid.ParameterGrid`.  The cost function is any
-callable ``parameters -> float`` — typically a closure over an
-:class:`~repro.ansatz.base.Ansatz` with a fixed noise/shots setting, for
-which :func:`cost_function` is the standard factory.
+callable ``parameters -> float`` — typically an
+:class:`AnsatzCostFunction` binding an :class:`~repro.ansatz.base.Ansatz`
+to a fixed noise/shots setting, for which :func:`cost_function` is the
+standard factory.
 
 Grid search is what the paper calls the expensive baseline (5k-32k
 circuit executions per landscape, Table 1); ``evaluate_indices`` is the
 cheap path OSCAR uses (a few percent of the grid).
+
+Execution is batched end to end: when the cost function exposes a
+vectorized ``many(points) -> values`` path (every
+:class:`AnsatzCostFunction` does, through
+:meth:`~repro.ansatz.base.Ansatz.expectation_many`), grid points are
+evaluated in memory-capped chunks of ``batch_size`` points per
+vectorized pass instead of one Python-level call per point.  Plain
+closures without a ``many`` attribute still work and fall back to the
+point-at-a-time loop, so custom cost functions need no changes.
 """
 
 from __future__ import annotations
@@ -18,13 +28,57 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..ansatz.base import Ansatz
+from ..quantum.batched import default_batch_size
 from ..quantum.noise import NoiseModel
 from .grid import ParameterGrid
 from .landscape import Landscape
 
-__all__ = ["LandscapeGenerator", "cost_function"]
+__all__ = ["AnsatzCostFunction", "LandscapeGenerator", "cost_function"]
 
 CostFunction = Callable[[np.ndarray], float]
+
+
+class AnsatzCostFunction:
+    """An ansatz bound to execution settings, callable point by point.
+
+    Instances behave exactly like the closure :func:`cost_function` used
+    to return (``function(parameters) -> float``) while additionally
+    exposing:
+
+    - :meth:`many` — the vectorized batch path, forwarding to
+      :meth:`~repro.ansatz.base.Ansatz.expectation_many`;
+    - :attr:`num_qubits` — so the landscape layer can pick a
+      memory-capped default batch size.
+    """
+
+    def __init__(
+        self,
+        ansatz: Ansatz,
+        noise: NoiseModel | None = None,
+        shots: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.ansatz = ansatz
+        self.noise = noise
+        self.shots = shots
+        self.rng = rng
+
+    @property
+    def num_qubits(self) -> int:
+        """Width of the underlying circuit (drives batch sizing)."""
+        return self.ansatz.num_qubits
+
+    def __call__(self, parameters: np.ndarray) -> float:
+        """Cost value at one parameter point."""
+        return self.ansatz.expectation(
+            parameters, noise=self.noise, shots=self.shots, rng=self.rng
+        )
+
+    def many(self, parameters_batch: np.ndarray) -> np.ndarray:
+        """Cost values for a ``(B, num_parameters)`` batch of points."""
+        return self.ansatz.expectation_many(
+            parameters_batch, noise=self.noise, shots=self.shots, rng=self.rng
+        )
 
 
 def cost_function(
@@ -32,27 +86,65 @@ def cost_function(
     noise: NoiseModel | None = None,
     shots: int | None = None,
     rng: np.random.Generator | None = None,
-) -> CostFunction:
-    """Bind an ansatz and execution settings into a plain callable."""
-
-    def evaluate(parameters: np.ndarray) -> float:
-        return ansatz.expectation(parameters, noise=noise, shots=shots, rng=rng)
-
-    return evaluate
+) -> AnsatzCostFunction:
+    """Bind an ansatz and execution settings into a batch-capable callable."""
+    return AnsatzCostFunction(ansatz, noise=noise, shots=shots, rng=rng)
 
 
 class LandscapeGenerator:
-    """Evaluates a cost function on grid points."""
+    """Evaluates a cost function on grid points, batched where possible.
 
-    def __init__(self, function: CostFunction, grid: ParameterGrid):
+    Args:
+        function: the cost function; if it exposes ``many(points)``
+            (see :class:`AnsatzCostFunction`), evaluation is chunked
+            through the vectorized path.
+        grid: the parameter grid to evaluate on.
+        batch_size: grid points per vectorized pass.  ``None`` picks a
+            memory-capped default from the cost function's qubit count
+            (:func:`~repro.quantum.batched.default_batch_size`).
+    """
+
+    def __init__(
+        self,
+        function: CostFunction,
+        grid: ParameterGrid,
+        batch_size: int | None = None,
+    ):
         self.function = function
         self.grid = grid
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+
+    def _resolved_batch_size(self) -> int:
+        if self.batch_size is not None:
+            return int(self.batch_size)
+        return default_batch_size(getattr(self.function, "num_qubits", None))
+
+    def evaluate_points(self, points: np.ndarray) -> np.ndarray:
+        """Cost values for an ``(m, ndim)`` array of parameter vectors.
+
+        Uses the cost function's vectorized ``many`` path in
+        ``batch_size``-point chunks when available, else loops.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.shape[0] == 0:
+            return np.empty(0)
+        many = getattr(self.function, "many", None)
+        if many is None:
+            return np.array([self.function(point) for point in points])
+        chunk = self._resolved_batch_size()
+        return np.concatenate(
+            [
+                np.asarray(many(points[start : start + chunk]), dtype=float)
+                for start in range(0, points.shape[0], chunk)
+            ]
+        )
 
     def grid_search(self, label: str = "ground-truth") -> Landscape:
         """Dense evaluation of every grid point (the expensive baseline)."""
-        values = np.empty(self.grid.size)
-        for flat_index, parameters in self.grid.iter_points():
-            values[flat_index] = self.function(parameters)
+        points = self.grid.points_from_flat(np.arange(self.grid.size))
+        values = self.evaluate_points(points)
         return Landscape(
             self.grid,
             values.reshape(self.grid.shape),
@@ -63,8 +155,7 @@ class LandscapeGenerator:
     def evaluate_indices(self, flat_indices: Sequence[int] | np.ndarray) -> np.ndarray:
         """Cost values at a subset of grid points (OSCAR's sampling)."""
         flat_indices = np.asarray(flat_indices, dtype=int)
-        points = self.grid.points_from_flat(flat_indices)
-        return np.array([self.function(point) for point in points])
+        return self.evaluate_points(self.grid.points_from_flat(flat_indices))
 
     def evaluate_point(self, parameters: np.ndarray) -> float:
         """Cost at an arbitrary (off-grid) parameter vector."""

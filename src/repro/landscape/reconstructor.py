@@ -45,6 +45,7 @@ from ..cs.solvers import SolverResult
 from .generator import LandscapeGenerator
 from .grid import ParameterGrid
 from .landscape import Landscape
+from ..utils import ensure_rng
 
 __all__ = ["OscarReconstructor", "ReconstructionReport"]
 
@@ -85,9 +86,7 @@ class OscarReconstructor:
         self.grid = grid
         self.config = config or ReconstructionConfig()
         self.sampler = sampler
-        if isinstance(rng, (int, np.integer)):
-            rng = np.random.default_rng(int(rng))
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
 
     # -- phase 1: sampling ---------------------------------------------------
 

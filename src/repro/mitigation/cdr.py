@@ -28,6 +28,7 @@ import numpy as np
 
 from ..ansatz.base import Ansatz
 from ..quantum.noise import NoiseModel
+from ..utils import ensure_rng
 
 __all__ = ["CdrConfig", "CliffordDataRegression", "snap_to_clifford_angles", "cdr_cost_function"]
 
@@ -118,7 +119,7 @@ class CliffordDataRegression:
         shots: int | None = None,
     ) -> "CliffordDataRegression":
         """Fit the regression on training circuits near ``around``."""
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         noisy_values = []
         exact_values = []
         for parameters in self.training_set(around, rng):
@@ -178,7 +179,7 @@ def cdr_cost_function(
             the fitted slope (errors-in-variables bias), so investing
             extra shots in the small, amortised training set pays off.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     model = CliffordDataRegression(ansatz, noise, config)
     model.train(
         np.asarray(train_around, dtype=float),

@@ -37,6 +37,7 @@ from ..quantum.circuit import QuantumCircuit
 from ..quantum.gates import X, Y, Z
 from ..quantum.noise import NoiseModel
 from ..quantum.statevector import Statevector
+from ..utils import ensure_rng
 
 __all__ = ["inverse_depolarizing_quasiprobability", "pec_gamma_factor", "PecEstimator"]
 
@@ -119,7 +120,7 @@ class PecEstimator:
         rng: np.random.Generator | None = None,
     ) -> float:
         """PEC-mitigated expectation of a diagonal observable."""
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         total = 0.0
         for _ in range(self.num_samples):
             sign, state = self._sample_once(circuit, rng)

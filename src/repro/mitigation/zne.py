@@ -34,6 +34,7 @@ import numpy as np
 
 from ..ansatz.base import Ansatz
 from ..quantum.noise import NoiseModel
+from ..utils import ensure_rng
 
 __all__ = [
     "richardson_extrapolate",
@@ -183,7 +184,7 @@ def zne_expectation(
     Richardson-vs-linear roughness contrast the paper studies.
     """
     config = config or ZneConfig()
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     values = [
         ansatz.expectation(
             parameters, noise=noise.scaled(scale), shots=shots, rng=rng

@@ -17,6 +17,7 @@ from typing import Sequence
 import numpy as np
 
 from .base import CountingObjective, Objective, OptimizationResult, Optimizer
+from ..utils import ensure_rng
 
 __all__ = ["Spsa"]
 
@@ -44,9 +45,7 @@ class Spsa(Optimizer):
         self.gamma = gamma
         self.stability = stability if stability is not None else 0.1 * maxiter
         self.tolerance = tolerance
-        if isinstance(rng, (int, np.integer)):
-            rng = np.random.default_rng(int(rng))
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
 
     def minimize(
         self, objective: Objective, initial_point: Sequence[float]

@@ -25,6 +25,7 @@ from ..ansatz.base import Ansatz
 from ..hardware.qpu import QpuPool
 from ..landscape.grid import ParameterGrid
 from .ncm import NoiseCompensationModel
+from ..utils import ensure_rng
 
 __all__ = ["SampleBatch", "ParallelSampler"]
 
@@ -123,7 +124,7 @@ class ParallelSampler:
                 used as a template, re-trained per device.
             rng: RNG for choosing training points.
         """
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         flat_indices = np.asarray(flat_indices, dtype=int)
         if fractions is None:
             fractions = [1.0 / len(self.pool)] * len(self.pool)

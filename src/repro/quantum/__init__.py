@@ -7,11 +7,14 @@ OSCAR implementation with a self-contained simulator stack:
 - :mod:`~repro.quantum.parameters` — symbolic circuit parameters,
 - :mod:`~repro.quantum.circuit` — the circuit IR (bind/compose/fold),
 - :mod:`~repro.quantum.statevector` — exact pure-state engine,
+- :mod:`~repro.quantum.batched` — batched pure-state engine (many
+  parameter bindings per vectorized pass),
 - :mod:`~repro.quantum.density` — exact noisy engine (Kraus channels),
 - :mod:`~repro.quantum.trajectories` — scalable Monte-Carlo noisy engine,
 - :mod:`~repro.quantum.noise` — depolarizing/readout noise models.
 """
 
+from .batched import BatchedStatevector, default_batch_size
 from .circuit import CircuitError, Instruction, QuantumCircuit
 from .density import DensityMatrix, simulate_density
 from .noise import IDEAL, NoiseModel, global_depolarizing_factor
@@ -20,6 +23,8 @@ from .statevector import Statevector, expectation_of_diagonal, simulate
 from .trajectories import trajectory_expectation_diagonal
 
 __all__ = [
+    "BatchedStatevector",
+    "default_batch_size",
     "CircuitError",
     "Instruction",
     "QuantumCircuit",

@@ -19,6 +19,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..utils import ensure_rng
 from .circuit import QuantumCircuit
 from .parameters import Parameter
 
@@ -160,11 +161,15 @@ class Statevector:
         self, shots: int, rng: np.random.Generator | None = None
     ) -> dict[int, int]:
         """Sample measurement outcomes; returns ``{basis_index: count}``."""
-        rng = rng or np.random.default_rng()
+        if shots < 1:
+            raise ValueError(f"shots must be >= 1, got {shots}")
+        rng = ensure_rng(rng)
         probabilities = self.probabilities()
-        # Guard against tiny negative round-off.
-        probabilities = np.clip(probabilities, 0.0, None)
-        probabilities /= probabilities.sum()
+        total = probabilities.sum()
+        if not math.isclose(total, 1.0, rel_tol=0.0, abs_tol=1e-9):
+            # Guard against tiny negative round-off before renormalizing.
+            probabilities = np.clip(probabilities, 0.0, None)
+            probabilities /= probabilities.sum()
         outcomes = rng.choice(self.dim, size=shots, p=probabilities)
         values, counts = np.unique(outcomes, return_counts=True)
         return {int(v): int(c) for v, c in zip(values, counts)}
@@ -176,7 +181,7 @@ class Statevector:
         rng: np.random.Generator | None = None,
     ) -> float:
         """Shot-noise estimate of a diagonal observable's expectation."""
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         counts = self.sample_counts(shots, rng)
         total = 0.0
         for index, count in counts.items():

@@ -21,6 +21,7 @@ from .gates import X, Y, Z
 from .noise import NoiseModel
 from .parameters import Parameter
 from .statevector import Statevector
+from ..utils import ensure_rng
 
 __all__ = [
     "trajectory_expectation_diagonal",
@@ -88,7 +89,7 @@ def trajectory_expectation_diagonal(
         rng: random generator (for reproducibility).
         bindings: parameter bindings if the circuit is symbolic.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if noise.is_ideal and shots_per_trajectory is None:
         state = Statevector(circuit.num_qubits).evolve(circuit, bindings)
         return state.expectation_diagonal(diagonal_values)
@@ -120,7 +121,7 @@ def trajectory_expectation_observable(
     (VQE) estimation scales to qubit counts where the ``O(4^n)``
     density-matrix engine cannot go.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if noise.is_ideal:
         state = Statevector(circuit.num_qubits).evolve(circuit, bindings)
         return float(observable.expectation(state))

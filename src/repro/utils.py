@@ -1,0 +1,31 @@
+"""Small shared helpers that do not belong to any one subsystem.
+
+Currently this is the single home of the random-generator seeding
+policy: every module that optionally accepts an ``rng`` routes through
+:func:`ensure_rng`, so "what counts as a valid rng argument" (``None``,
+an integer seed, or a ready :class:`numpy.random.Generator`) is decided
+in exactly one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng"]
+
+
+def ensure_rng(
+    rng: np.random.Generator | int | None = None,
+) -> np.random.Generator:
+    """Normalize an optional rng argument into a ready generator.
+
+    Args:
+        rng: ``None`` (fresh OS-entropy generator), an integer seed, or
+            an existing :class:`numpy.random.Generator` (returned as-is,
+            so callers can share one stream across components).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(int(rng))
