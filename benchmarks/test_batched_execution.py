@@ -1,16 +1,23 @@
 """Microbenchmark: batched landscape generation vs the serial loop.
 
-The acceptance bar for the batched execution layer is concrete: on a
-Table-1-sized QAOA grid (p=1, 50 x 100 = 5000 circuit executions) the
-batched ``grid_search`` must (a) reproduce the serial point-at-a-time
-loop to machine precision (<= 1e-10) and (b) run at least 3x faster.
-The grid uses the 10-qubit 3-regular MaxCut workhorse the speedup and
-mitigation studies run on.
+The acceptance bars for the batched execution layer are concrete:
 
-Under CI (or ``OSCAR_BENCH_SMOKE=1``) the benchmark runs as a smoke
-test on a reduced grid: the equivalence check is enforced either way,
-but the wall-clock bar is skipped because shared runners are too noisy
-for a hard timing gate (the same policy as ``test_batched_engine``).
+- a Table-1-sized QAOA grid (p=1, 50 x 100 = 5000 circuit executions)
+  must reproduce the serial point-at-a-time loop to machine precision
+  (<= 1e-10) and run at least 3x faster;
+- the Tables 2-4 workloads (dense Two-local and UCCSD slice grids) and
+  the Fig. 9/13 workload (a ZNE-mitigated grid with the scale factors
+  folded into the batch axis) must match serial and run >= 2.5x faster
+  through the native batched paths;
+- at n = 13, where the batched path historically only tied the serial
+  engine, it must never fall *below* serial (the low-qubit BLAS pass in
+  ``apply_hadamard_all`` is what buys the margin).
+
+Under CI (or ``OSCAR_BENCH_SMOKE=1``) the benchmarks run as smoke
+tests on reduced grids: the equivalence checks are enforced either way,
+but the wall-clock bars are skipped because shared runners are too
+noisy for a hard timing gate (the same policy as
+``test_batched_engine``).
 """
 
 from __future__ import annotations
@@ -21,15 +28,36 @@ import time
 import numpy as np
 
 from _util import emit, format_table
-from repro.ansatz import QaoaAnsatz
+from repro.ansatz import QaoaAnsatz, TwoLocalAnsatz, UccsdAnsatz
 from repro.landscape import LandscapeGenerator, cost_function, qaoa_grid
-from repro.problems import random_3_regular_maxcut
+from repro.landscape.grid import GridAxis, ParameterGrid
+from repro.mitigation import ZneConfig, zne_cost_function
+from repro.problems import random_3_regular_maxcut, sk_problem
+from repro.problems.chemistry import lih_hamiltonian
+from repro.quantum import NoiseModel
 
 SMOKE = bool(os.environ.get("OSCAR_BENCH_SMOKE") or os.environ.get("CI"))
 NUM_QUBITS = 8 if SMOKE else 10
 RESOLUTION = (20, 40) if SMOKE else (50, 100)  # Table 1: 50 x 100
 REPEATS = 1 if SMOKE else 2
 SPEEDUP_BAR = 3.0
+#: Bar for the Tables 2-4 (Two-local/UCCSD slice) and batched-ZNE
+#: workloads added in PR 3.
+MITIGATION_SPEEDUP_BAR = 2.5
+
+
+def _race(function, points, generator):
+    """(best serial seconds, best batched seconds, batched values, serial values)."""
+    serial_seconds = batched_seconds = float("inf")
+    serial = batched = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        serial = np.array([function(point) for point in points])
+        serial_seconds = min(serial_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        batched = generator.evaluate_points(points)
+        batched_seconds = min(batched_seconds, time.perf_counter() - start)
+    return serial_seconds, batched_seconds, batched, serial
 
 
 def test_batched_grid_search_speedup():
@@ -82,6 +110,146 @@ def test_batched_grid_search_speedup():
         return
     assert speedup >= SPEEDUP_BAR, (
         f"batched speedup {speedup:.2f}x below the {SPEEDUP_BAR}x bar"
+    )
+
+
+def test_batched_tables_slice_speedup():
+    """Tables 2-4 workload: dense Two-local and UCCSD slice grids must
+    match the serial loop to machine precision and run >= 2.5x faster
+    through the native batched paths."""
+    axis = GridAxis("a", -np.pi, np.pi, 10 if SMOKE else 40)
+    rows = []
+    for name, ansatz in (
+        ("twolocal-sk6", TwoLocalAnsatz(sk_problem(6, seed=0).to_pauli_sum(), reps=0)),
+        ("uccsd-lih", UccsdAnsatz(lih_hamiltonian(), num_parameters=8)),
+    ):
+        grid = ParameterGrid([axis, GridAxis("b", -np.pi, np.pi, axis.num_points)])
+        rng = np.random.default_rng(0)
+        fixed = rng.uniform(-np.pi, np.pi, ansatz.num_parameters)
+        points = np.tile(fixed, (grid.size, 1))
+        slice_points = grid.points_from_flat(np.arange(grid.size))
+        points[:, 0] = slice_points[:, 0]
+        points[:, 1] = slice_points[:, 1]
+        function = cost_function(ansatz)
+        generator = LandscapeGenerator(function, grid)
+        function(points[0])
+        generator.evaluate_points(points[:4])  # warm caches
+        serial_seconds, batched_seconds, batched, serial = _race(
+            function, points, generator
+        )
+        difference = float(np.abs(batched - serial).max())
+        assert difference <= 1e-10, (
+            f"{name}: batched slice deviates from serial by {difference:.3e}"
+        )
+        speedup = serial_seconds / batched_seconds
+        rows.append((name, grid.size, serial_seconds, batched_seconds, speedup))
+    emit(
+        "batched_tables_slices",
+        format_table(
+            ["workload", "points", "serial (s)", "batched (s)", "speedup"],
+            rows,
+        ),
+    )
+    if SMOKE:
+        return
+    for name, _, _, _, speedup in rows:
+        assert speedup >= MITIGATION_SPEEDUP_BAR, (
+            f"{name}: batched slice speedup {speedup:.2f}x below the "
+            f"{MITIGATION_SPEEDUP_BAR}x bar"
+        )
+
+
+def test_batched_zne_landscape_speedup():
+    """Fig. 9/13 workload: a ZNE-mitigated landscape, scale factors
+    folded into the batch axis, must match the per-(point, scale) loop
+    and run >= 2.5x faster."""
+    problem = random_3_regular_maxcut(NUM_QUBITS, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=(10, 20) if SMOKE else (20, 40))
+    noise = NoiseModel(p1=0.001, p2=0.02)  # the Fig. 9 depolarizing rates
+    function = zne_cost_function(
+        ansatz, noise, ZneConfig((1.0, 2.0, 3.0), "richardson")
+    )
+    generator = LandscapeGenerator(function, grid)
+    points = grid.points_from_flat(np.arange(grid.size))
+    function(points[0])
+    generator.evaluate_points(points[:4])  # warm caches
+    serial_seconds, batched_seconds, batched, serial = _race(
+        function, points, generator
+    )
+    difference = float(np.abs(batched - serial).max())
+    assert difference <= 1e-10, (
+        f"batched ZNE deviates from the serial loop by {difference:.3e}"
+    )
+    speedup = serial_seconds / batched_seconds
+    emit(
+        "batched_zne",
+        format_table(
+            ["metric", "value"],
+            [
+                ("qubits", NUM_QUBITS),
+                ("grid points", grid.size),
+                ("scale factors", 3),
+                ("serial loop (s)", serial_seconds),
+                ("batched folded (s)", batched_seconds),
+                ("speedup", speedup),
+                ("max |batched - serial|", difference),
+                ("smoke run", SMOKE),
+            ],
+        ),
+    )
+    if SMOKE:
+        return
+    assert speedup >= MITIGATION_SPEEDUP_BAR, (
+        f"batched ZNE speedup {speedup:.2f}x below the "
+        f"{MITIGATION_SPEEDUP_BAR}x bar"
+    )
+
+
+def test_batched_never_below_serial_at_n13():
+    """Regression gate for the former n >= 13 tie: with the low-qubit
+    BLAS pass in `apply_hadamard_all`, the batched path must not fall
+    below the serial engine on a 13-qubit grid."""
+    problem = sk_problem(13, seed=0)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=(6, 12) if SMOKE else (12, 24))
+    function = cost_function(ansatz)
+    generator = LandscapeGenerator(function, grid)
+    points = grid.points_from_flat(np.arange(grid.size))
+    function(points[0])
+    generator.evaluate_points(points[:4])  # warm caches
+    serial_seconds = batched_seconds = float("inf")
+    # Extra repeats: this gate compares two wall-clock numbers near the
+    # historical tie, so take the best of three races to keep scheduler
+    # stalls from producing a false failure.
+    for _ in range(1 if SMOKE else 3):
+        race = _race(function, points, generator)
+        serial_seconds = min(serial_seconds, race[0])
+        batched_seconds = min(batched_seconds, race[1])
+        batched, serial = race[2], race[3]
+    assert np.abs(batched - serial).max() <= 1e-10
+    ratio = serial_seconds / batched_seconds
+    emit(
+        "batched_n13_regression",
+        format_table(
+            ["metric", "value"],
+            [
+                ("qubits", 13),
+                ("grid points", grid.size),
+                ("serial loop (s)", serial_seconds),
+                ("batched (s)", batched_seconds),
+                ("batched / serial ratio", ratio),
+                ("smoke run", SMOKE),
+            ],
+        ),
+    )
+    if SMOKE:
+        return
+    # 1.05 (not 1.0): the BLAS pass measures ~1.25-1.5x here, the old
+    # tie was ~1.0x, so this margin still trips on a regression to the
+    # tie while leaving headroom below the measured floor for noise.
+    assert ratio >= 1.05, (
+        f"batched path fell back to the serial tie at n=13: {ratio:.2f}x"
     )
 
 

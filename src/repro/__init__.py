@@ -54,7 +54,12 @@ from .landscape import (
     nrmse,
     qaoa_grid,
 )
-from .mitigation import ZneConfig, zne_cost_function, zne_expectation
+from .mitigation import (
+    ZneConfig,
+    ZneCostFunction,
+    zne_cost_function,
+    zne_expectation,
+)
 from .optimizers import Adam, Cobyla, NelderMead, Spsa
 from .parallel import NoiseCompensationModel, ParallelSampler, eager_reconstruct
 from .problems import (
@@ -94,6 +99,7 @@ __all__ = [
     "nrmse",
     "qaoa_grid",
     "ZneConfig",
+    "ZneCostFunction",
     "zne_cost_function",
     "zne_expectation",
     "Adam",

@@ -10,17 +10,20 @@ Two evaluation granularities are exposed:
 - :meth:`Ansatz.expectation` — one parameter point;
 - :meth:`Ansatz.expectation_many` — a whole ``(B, num_parameters)``
   batch of points.  The base implementation is a serial loop, so every
-  ansatz supports the batched interface; subclasses with a vectorized
-  execution path (QAOA's diagonal-phase fast path over a
-  :class:`~repro.quantum.batched.BatchedStatevector`) override it for
-  the wall-clock win while preserving the loop's semantics, including
-  rng draw order.
+  ansatz supports the batched interface; all three shipped ansatzes
+  override it with a vectorized execution path over a
+  :class:`~repro.quantum.batched.BatchedStatevector` (QAOA's
+  diagonal-phase fast path, Two-local's per-row RY stacks, UCCSD's
+  per-row excitation stacks) while preserving the loop's semantics,
+  including rng draw order.  ``noise`` may also be a per-row sequence,
+  which is how batched ZNE folds its scale factors into the batch axis
+  (see :class:`repro.mitigation.zne.ZneCostFunction`).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -66,7 +69,7 @@ class Ansatz(abc.ABC):
     def expectation_many(
         self,
         parameters_batch: Sequence[Sequence[float]] | np.ndarray,
-        noise: NoiseModel | None = None,
+        noise: NoiseModel | Sequence[NoiseModel | None] | None = None,
         shots: int | None = None,
         rng: np.random.Generator | None = None,
     ) -> np.ndarray:
@@ -84,7 +87,10 @@ class Ansatz(abc.ABC):
             parameters_batch: ``(B, num_parameters)`` array-like of
                 parameter vectors (a single flat vector is promoted to
                 a batch of one).
-            noise: optional noise model shared by all rows.
+            noise: optional noise model shared by all rows, or a
+                length-``B`` sequence with one model (or ``None``) per
+                row — the shape batched ZNE uses to fold its noise
+                scale factors into the batch axis.
             shots: if given, add measurement shot noise per row.
             rng: random generator shared across the batch.
 
@@ -93,14 +99,15 @@ class Ansatz(abc.ABC):
             input batch.
         """
         batch = self._validate_batch(parameters_batch)
+        noise_rows = self._resolve_noise(noise, batch.shape[0])
         if shots is not None:
             rng = ensure_rng(rng)
         return np.array(
             [
-                self.expectation(row, noise=noise, shots=shots, rng=rng)
-                for row in batch
+                self.expectation(row, noise=model, shots=shots, rng=rng)
+                for row, model in zip(batch, noise_rows)
             ]
-        )
+        ).reshape(batch.shape[0])
 
     def parameter_names(self) -> list[str]:
         """Stable display names for the parameters (default: p0..pk)."""
@@ -118,6 +125,85 @@ class Ansatz(abc.ABC):
                 f"parameters, got {values.shape[0]}"
             )
         return values
+
+    def _resolve_noise(
+        self,
+        noise: NoiseModel | Sequence[NoiseModel | None] | None,
+        batch_size: int,
+    ) -> list[NoiseModel | None]:
+        """Normalize a shared-or-per-row noise spec to one model per row.
+
+        ``None`` or a single :class:`~repro.quantum.noise.NoiseModel`
+        broadcasts over the batch; a sequence must supply exactly one
+        entry (a model or ``None``) per row.
+        """
+        if noise is None or isinstance(noise, NoiseModel):
+            return [noise] * batch_size
+        rows = list(noise)
+        if len(rows) != batch_size:
+            raise ValueError(
+                f"per-row noise needs {batch_size} entries, got {len(rows)}"
+            )
+        for model in rows:
+            if model is not None and not isinstance(model, NoiseModel):
+                raise TypeError(
+                    f"per-row noise entries must be NoiseModel or None, "
+                    f"got {type(model).__name__}"
+                )
+        return rows
+
+    def _expectation_many_split(
+        self,
+        batch: np.ndarray,
+        noise_rows: list[NoiseModel | None],
+        shots: int | None,
+        rng: np.random.Generator | None,
+        ideal_many: "Callable[[np.ndarray], np.ndarray]",
+        noisy_one: "Callable[[np.ndarray, NoiseModel], float]",
+    ) -> np.ndarray:
+        """Shared scaffold for native batched paths with per-row noise.
+
+        Ideal rows are evaluated in one vectorized ``ideal_many`` call,
+        noisy rows route through the per-row ``noisy_one`` engine, and
+        shot noise is drawn afterwards one row at a time in batch order
+        — the rng contract that keeps a seeded serial loop over
+        :meth:`expectation` reproducing the batch draw for draw.
+        Subclasses using this must define ``_shot_scale()`` (the
+        per-shot standard-deviation bound of their estimator).
+        """
+        noisy = self._noisy_mask(noise_rows)
+        values = np.empty(batch.shape[0])
+        ideal_indices = np.flatnonzero(~noisy)
+        if ideal_indices.size:
+            values[ideal_indices] = ideal_many(batch[ideal_indices])
+        for index in np.flatnonzero(noisy):
+            values[index] = noisy_one(batch[index], noise_rows[index])
+        if shots is None:
+            return values
+        rng = ensure_rng(rng)
+        sigma = self._shot_scale() / np.sqrt(shots)
+        # One vectorized draw block: numpy Generators produce the same
+        # bitstream for normal(size=B) as for B sequential scalar
+        # draws, so row-order parity with the serial loop is preserved.
+        return values + rng.normal(0.0, sigma, size=batch.shape[0])
+
+    @staticmethod
+    def _noisy_mask(noise_rows: list[NoiseModel | None]) -> np.ndarray:
+        """Boolean per-row mask of the rows with a non-ideal model."""
+        return np.array(
+            [model is not None and not model.is_ideal for model in noise_rows],
+            dtype=bool,
+        )
+
+    def _shot_scale(self) -> float:
+        """Per-shot standard-deviation bound of the estimator.
+
+        Required by :meth:`_expectation_many_split`; ansatzes with a
+        native batched path override it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a shot-noise scale"
+        )
 
     def _validate_batch(
         self, parameters_batch: Sequence[Sequence[float]] | np.ndarray

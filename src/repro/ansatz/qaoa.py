@@ -223,10 +223,44 @@ class QaoaAnsatz(Ansatz):
             return np.exp(-1j * gammas[:, None] * unique[None, :])[:, inverse]
         return np.exp(-1j * gammas[:, None] * self._cost_diagonal[None, :])
 
+    def _contraction_factors(
+        self, noise_rows: list[NoiseModel | None]
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Per-row ``(factors, noisy_mask)``, or ``None`` if all ideal.
+
+        Ideal rows keep factor 1.0 and a ``False`` mask entry; each
+        distinct noisy model hits the per-(ansatz, noise) cache once.
+        """
+        mask = self._noisy_mask(noise_rows)
+        if not mask.any():
+            return None
+        factors = np.array(
+            [
+                self._contraction_factor(model) if noisy else 1.0
+                for model, noisy in zip(noise_rows, mask)
+            ]
+        )
+        return factors, mask
+
+    def _contract(
+        self, values: np.ndarray, factors: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Contract the noisy rows, leaving ideal rows bit-identical.
+
+        ``mean + 1.0 * (x - mean)`` is not exactly ``x`` in floating
+        point, so ideal rows are skipped rather than scaled by 1.0 — a
+        serial loop never touches them either.
+        """
+        values = values.copy()
+        values[mask] = self._cost_mean + factors[mask] * (
+            values[mask] - self._cost_mean
+        )
+        return values
+
     def expectation_many(
         self,
         parameters_batch: Sequence[Sequence[float]] | np.ndarray,
-        noise: NoiseModel | None = None,
+        noise: NoiseModel | Sequence[NoiseModel | None] | None = None,
         shots: int | None = None,
         rng: np.random.Generator | None = None,
     ) -> np.ndarray:
@@ -235,23 +269,25 @@ class QaoaAnsatz(Ansatz):
         Semantics match a serial loop of :meth:`expectation` row by
         row: the same diagonal fast path, the same cached depolarizing
         contraction, and — for ``shots`` requests — the same per-row
-        rng draw order.
+        rng draw order.  ``noise`` may vary per row (a length-``B``
+        sequence), in which case the analytic contraction is applied
+        with a per-row factor — the path batched ZNE rides.
         """
         batch = self._validate_batch(parameters_batch)
+        noise_rows = self._resolve_noise(noise, batch.shape[0])
         state = self.statevector_many(batch)
         exact = state.expectation_diagonal(self._cost_diagonal)
-        factor = 1.0
-        if noise is not None and not noise.is_ideal:
-            factor = self._contraction_factor(noise)
-            exact = self._cost_mean + factor * (exact - self._cost_mean)
+        contraction = self._contraction_factors(noise_rows)
+        if contraction is not None:
+            exact = self._contract(exact, *contraction)
         if shots is None:
             return exact
         rng = ensure_rng(rng)
         sampled = state.sample_expectation_diagonal(
             self._cost_diagonal, shots, rng
         )
-        if noise is not None and not noise.is_ideal:
-            sampled = self._cost_mean + factor * (sampled - self._cost_mean)
+        if contraction is not None:
+            sampled = self._contract(sampled, *contraction)
         return sampled
 
     def expectation_trajectory(

@@ -60,6 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
     recon.add_argument("--fraction", type=float, default=0.06)
     recon.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
     recon.add_argument("--noisy", action="store_true", help="add depolarizing noise")
+    recon.add_argument(
+        "--zne",
+        choices=("off", "richardson", "linear"),
+        default="off",
+        help="zero-noise extrapolation on the noisy landscape "
+        "(scale factors fold into the batched execution axis; "
+        "implies --noisy)",
+    )
+    recon.add_argument(
+        "--shots",
+        type=int,
+        default=None,
+        help="per-query measurement shots (default: exact expectations)",
+    )
     recon.add_argument("--seed", type=int, default=0)
     recon.add_argument("--render", action="store_true", help="print ASCII heatmaps")
     add_batch_size(recon)
@@ -134,13 +148,30 @@ def _problem(kind: str, qubits: int, seed: int):
 
 
 def _command_reconstruct(args: argparse.Namespace) -> int:
+    from .mitigation import ZneConfig, zne_cost_function
+
     problem = _problem(args.problem, args.qubits, args.seed)
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
-    noise = NoiseModel(p1=0.003, p2=0.007) if args.noisy else None
-    generator = LandscapeGenerator(
-        cost_function(ansatz, noise=noise), grid, batch_size=args.batch_size
-    )
+    mitigated = args.zne != "off"
+    noise = NoiseModel(p1=0.003, p2=0.007) if (args.noisy or mitigated) else None
+    rng = np.random.default_rng(args.seed) if args.shots is not None else None
+    if mitigated:
+        config = (
+            ZneConfig((1.0, 2.0, 3.0), "richardson")
+            if args.zne == "richardson"
+            else ZneConfig((1.0, 3.0), "linear")
+        )
+        function = zne_cost_function(
+            ansatz, noise, config, shots=args.shots, rng=rng
+        )
+        print(
+            f"zne: {args.zne} (scales {config.scale_factors}, "
+            f"{function.rows_per_point} execution rows per point)"
+        )
+    else:
+        function = cost_function(ansatz, noise=noise, shots=args.shots, rng=rng)
+    generator = LandscapeGenerator(function, grid, batch_size=args.batch_size)
     truth = generator.grid_search(label="grid-search")
     oscar = OscarReconstructor(grid, rng=args.seed)
     reconstruction, report = oscar.reconstruct(generator, args.fraction)

@@ -68,9 +68,14 @@ def run_mitigation_study(
 
     The Richardson configuration uses scales {1,2,3} and the linear one
     {1,3}, exactly as in the paper.  ``shots`` drives the statistical
-    noise that Richardson amplifies into "salt".  ``batch_size`` caps
-    the vectorized execution chunk for the unmitigated landscape (the
-    ZNE cost functions evaluate point by point).
+    noise that Richardson amplifies into "salt".  ``batch_size`` counts
+    landscape *points* per vectorized chunk for every setting; the ZNE
+    cost functions fold their noise scales into the batch axis (one
+    batched call per chunk covering all scale factors, i.e.
+    ``batch_size * num_scales`` execution rows), so the mitigated
+    landscapes ride the same vectorized backend as the unmitigated one.
+    Leave it ``None`` for a cache-capped default that accounts for the
+    fold.
     """
     problem = random_3_regular_maxcut(num_qubits, seed=seed)
     ansatz = QaoaAnsatz(problem, p=1)

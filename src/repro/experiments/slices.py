@@ -80,9 +80,10 @@ class SliceCostFunction:
     Batch-capable like
     :class:`~repro.landscape.generator.AnsatzCostFunction`: slice points
     are embedded into full parameter vectors and forwarded to
-    :meth:`~repro.ansatz.base.Ansatz.expectation_many`, so QAOA slices
-    ride the vectorized execution path (other ansatzes fall back to the
-    base class's serial loop with unchanged semantics).
+    :meth:`~repro.ansatz.base.Ansatz.expectation_many`, so QAOA,
+    Two-local and UCCSD slices all ride their native vectorized
+    execution paths (custom ansatzes without one fall back to the base
+    class's serial loop with unchanged semantics).
     """
 
     def __init__(

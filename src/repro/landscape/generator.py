@@ -14,7 +14,9 @@ cheap path OSCAR uses (a few percent of the grid).
 Execution is batched end to end: when the cost function exposes a
 vectorized ``many(points) -> values`` path (every
 :class:`AnsatzCostFunction` does, through
-:meth:`~repro.ansatz.base.Ansatz.expectation_many`), grid points are
+:meth:`~repro.ansatz.base.Ansatz.expectation_many`, as do the mitigated
+cost functions :class:`~repro.mitigation.zne.ZneCostFunction` and
+:class:`~repro.mitigation.cdr.CdrCostFunction`), grid points are
 evaluated in memory-capped chunks of ``batch_size`` points per
 vectorized pass instead of one Python-level call per point.  Plain
 closures without a ``many`` attribute still work and fall back to the
@@ -101,7 +103,13 @@ class LandscapeGenerator:
         grid: the parameter grid to evaluate on.
         batch_size: grid points per vectorized pass.  ``None`` picks a
             memory-capped default from the cost function's qubit count
-            (:func:`~repro.quantum.batched.default_batch_size`).
+            (:func:`~repro.quantum.batched.default_batch_size`),
+            divided by the cost function's ``rows_per_point`` when it
+            fans points out into several execution rows (batched ZNE).
+            An explicit value always counts *points*: with a
+            ``rows_per_point`` cost function the folded execution batch
+            is ``batch_size * rows_per_point`` rows, so keep explicit
+            overrides small on mitigated landscapes.
     """
 
     def __init__(
@@ -119,7 +127,13 @@ class LandscapeGenerator:
     def _resolved_batch_size(self) -> int:
         if self.batch_size is not None:
             return int(self.batch_size)
-        return default_batch_size(getattr(self.function, "num_qubits", None))
+        # Cost functions that fan each point out into several execution
+        # rows (batched ZNE: one row per noise scale) advertise the fold
+        # via ``rows_per_point``; shrink the per-chunk point count so
+        # the folded batch still fits the backend's cache budget.
+        rows = max(1, int(getattr(self.function, "rows_per_point", 1)))
+        capacity = default_batch_size(getattr(self.function, "num_qubits", None))
+        return max(1, capacity // rows)
 
     def evaluate_points(self, points: np.ndarray) -> np.ndarray:
         """Cost values for an ``(m, ndim)`` array of parameter vectors.

@@ -13,14 +13,22 @@ Shot-frugal mitigation:
 - :mod:`~repro.mitigation.dd` — dynamical-decoupling circuit pass.
 """
 
-from .cdr import CdrConfig, CliffordDataRegression, cdr_cost_function, snap_to_clifford_angles
+from .cdr import (
+    CdrConfig,
+    CdrCostFunction,
+    CliffordDataRegression,
+    cdr_cost_function,
+    snap_to_clifford_angles,
+)
 from .dd import idle_dephasing_survival, insert_dynamical_decoupling, schedule_layers
 from .pec import PecEstimator, inverse_depolarizing_quasiprobability, pec_gamma_factor
 from .readout import ReadoutMitigator
 from .zne import (
     ZneConfig,
+    ZneCostFunction,
     exponential_extrapolate,
     extrapolate,
+    extrapolate_many,
     linear_extrapolate,
     richardson_extrapolate,
     zne_cost_function,
@@ -29,6 +37,7 @@ from .zne import (
 
 __all__ = [
     "CdrConfig",
+    "CdrCostFunction",
     "CliffordDataRegression",
     "cdr_cost_function",
     "snap_to_clifford_angles",
@@ -40,8 +49,10 @@ __all__ = [
     "schedule_layers",
     "ReadoutMitigator",
     "ZneConfig",
+    "ZneCostFunction",
     "exponential_extrapolate",
     "extrapolate",
+    "extrapolate_many",
     "linear_extrapolate",
     "richardson_extrapolate",
     "zne_cost_function",

@@ -23,6 +23,12 @@ Extrapolation models (the paper's configuration knob, Sec. 6):
   {1,3} the weights are [1.5, -0.5] (amplification ``~1.6x``), hence
   the smoother Fig. 9(B);
 - **exponential** — ``y = a * exp(b * scale)`` fit, an extension knob.
+
+Execution is batch-capable: :class:`ZneCostFunction` folds the scale
+factors into the execution batch axis (one ``expectation_many`` call
+with a per-row noise sequence per chunk, then one vectorized
+extrapolation), so mitigated landscape grids ride the same vectorized
+backend as unmitigated ones instead of a per-(point, scale) loop.
 """
 
 from __future__ import annotations
@@ -41,10 +47,30 @@ __all__ = [
     "linear_extrapolate",
     "exponential_extrapolate",
     "extrapolate",
+    "extrapolate_many",
     "ZneConfig",
+    "ZneCostFunction",
     "zne_expectation",
     "zne_cost_function",
 ]
+
+
+def _richardson_weights(scales: np.ndarray) -> np.ndarray:
+    """Lagrange-at-zero weights ``c_i = prod_{j != i} s_j / (s_j - s_i)``."""
+    scales = np.asarray(scales, dtype=float)
+    if scales.size < 2:
+        raise ValueError("need at least two scale factors")
+    if len(np.unique(scales)) != scales.size:
+        raise ValueError("scale factors must be distinct")
+    weights = np.empty(scales.size)
+    for i in range(scales.size):
+        weight = 1.0
+        for j in range(scales.size):
+            if j == i:
+                continue
+            weight *= scales[j] / (scales[j] - scales[i])
+        weights[i] = weight
+    return weights
 
 
 def richardson_extrapolate(scales: np.ndarray, values: np.ndarray) -> float:
@@ -57,17 +83,7 @@ def richardson_extrapolate(scales: np.ndarray, values: np.ndarray) -> float:
     values = np.asarray(values, dtype=float)
     if scales.shape != values.shape or scales.size < 2:
         raise ValueError("need matching scales/values with at least two points")
-    if len(np.unique(scales)) != scales.size:
-        raise ValueError("scale factors must be distinct")
-    estimate = 0.0
-    for i in range(scales.size):
-        weight = 1.0
-        for j in range(scales.size):
-            if j == i:
-                continue
-            weight *= scales[j] / (scales[j] - scales[i])
-        estimate += weight * values[i]
-    return float(estimate)
+    return float(np.dot(_richardson_weights(scales), values))
 
 
 def linear_extrapolate(scales: np.ndarray, values: np.ndarray) -> float:
@@ -117,6 +133,38 @@ def extrapolate(method: str, scales: Sequence[float], values: Sequence[float]) -
     return _EXTRAPOLATORS[method](np.asarray(scales, float), np.asarray(values, float))
 
 
+def extrapolate_many(
+    method: str, scales: Sequence[float], values: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`extrapolate` over an ``(m, num_scales)`` matrix.
+
+    Richardson is one matrix-vector product with the shared Lagrange
+    weights, linear is one shared least-squares fit over all rows
+    (``np.polyfit`` accepts a 2-D ordinate); the exponential model's
+    sign-handling branches keep it a per-row loop.  Each row equals the
+    scalar :func:`extrapolate` on that row to machine precision.
+    """
+    scales = np.asarray(scales, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2 or values.shape[1] != scales.size:
+        raise ValueError(
+            f"values must be (m, {scales.size}) for {scales.size} scales, "
+            f"got {values.shape}"
+        )
+    if method == "richardson":
+        return values @ _richardson_weights(scales)
+    if method == "linear":
+        return np.polyfit(scales, values.T, deg=1)[1]
+    if method == "exponential":
+        return np.array(
+            [exponential_extrapolate(scales, row) for row in values]
+        )
+    raise ValueError(
+        f"unknown extrapolation method {method!r}; "
+        f"choose from {sorted(_EXTRAPOLATORS)}"
+    )
+
+
 @dataclass(frozen=True)
 class ZneConfig:
     """A ZNE configuration: scaling factors plus extrapolation model.
@@ -131,6 +179,8 @@ class ZneConfig:
     def __post_init__(self) -> None:
         if len(self.scale_factors) < 2:
             raise ValueError("ZNE needs at least two scale factors")
+        if len(set(self.scale_factors)) != len(self.scale_factors):
+            raise ValueError("scale factors must be distinct")
         if any(scale < 1.0 for scale in self.scale_factors):
             raise ValueError("scale factors must be >= 1")
         if self.method not in _EXTRAPOLATORS:
@@ -152,14 +202,7 @@ class ZneConfig:
         """
         scales = np.asarray(self.scale_factors, dtype=float)
         if self.method == "richardson":
-            weights = []
-            for i in range(scales.size):
-                weight = 1.0
-                for j in range(scales.size):
-                    if j != i:
-                        weight *= scales[j] / (scales[j] - scales[i])
-                weights.append(weight)
-            return float(np.linalg.norm(weights))
+            return float(np.linalg.norm(_richardson_weights(scales)))
         # Linear least squares: intercept weights from the hat matrix.
         design = np.stack([scales, np.ones_like(scales)], axis=1)
         pseudo_inverse = np.linalg.pinv(design)
@@ -194,22 +237,88 @@ def zne_expectation(
     return extrapolate(config.method, config.scale_factors, values)
 
 
+class ZneCostFunction:
+    """A batch-capable cost function with ZNE applied at every query.
+
+    Drop-in replacement for
+    :class:`repro.landscape.generator.AnsatzCostFunction`: calling it
+    evaluates one point through :func:`zne_expectation`, while
+    :meth:`many` folds the noise scale factors into the batch axis —
+    an ``(m, ndim)`` chunk becomes one ``(m * num_scales, ndim)``
+    ``expectation_many`` call with a per-row noise sequence, followed by
+    one vectorized extrapolation.  Rows are ordered point-major /
+    scale-minor, exactly the order the serial loop evaluates them, so
+    seeded shot-noise draws match the serial path draw for draw.
+
+    :attr:`rows_per_point` advertises the fold factor so the landscape
+    layer can shrink its per-chunk point count to keep the folded batch
+    inside the execution backend's cache budget.
+    """
+
+    def __init__(
+        self,
+        ansatz: Ansatz,
+        noise: NoiseModel,
+        config: ZneConfig | None = None,
+        shots: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.ansatz = ansatz
+        self.noise = noise
+        self.config = config or ZneConfig()
+        self.shots = shots
+        self.rng = rng
+        self._scaled = [
+            noise.scaled(scale) for scale in self.config.scale_factors
+        ]
+
+    @property
+    def num_qubits(self) -> int:
+        """Width of the underlying circuit (drives batch sizing)."""
+        return self.ansatz.num_qubits
+
+    @property
+    def rows_per_point(self) -> int:
+        """Execution-batch rows consumed per landscape point."""
+        return len(self.config.scale_factors)
+
+    def __call__(self, parameters: np.ndarray) -> float:
+        """ZNE-mitigated cost at one parameter point."""
+        return zne_expectation(
+            self.ansatz, parameters, self.noise, self.config, self.shots, self.rng
+        )
+
+    def many(self, parameters_batch: np.ndarray) -> np.ndarray:
+        """ZNE-mitigated cost values for an ``(m, ndim)`` point batch."""
+        points = np.asarray(parameters_batch, dtype=float)
+        if points.ndim == 1:
+            points = points[None, :]
+        num_points = points.shape[0]
+        num_scales = len(self._scaled)
+        folded = np.repeat(points, num_scales, axis=0)
+        values = self.ansatz.expectation_many(
+            folded,
+            noise=self._scaled * num_points,
+            shots=self.shots,
+            rng=self.rng,
+        ).reshape(num_points, num_scales)
+        return extrapolate_many(
+            self.config.method, self.config.scale_factors, values
+        )
+
+
 def zne_cost_function(
     ansatz: Ansatz,
     noise: NoiseModel,
     config: ZneConfig | None = None,
     shots: int | None = None,
     rng: np.random.Generator | None = None,
-) -> Callable[[np.ndarray], float]:
-    """A plain cost callable with ZNE applied at every query.
+) -> ZneCostFunction:
+    """A batch-capable cost callable with ZNE applied at every query.
 
     Drop-in replacement for
     :func:`repro.landscape.generator.cost_function`, so mitigated
-    landscapes are produced by the same grid/OSCAR machinery.
+    landscapes are produced by the same grid/OSCAR machinery — batched
+    chunks included (see :class:`ZneCostFunction`).
     """
-    config = config or ZneConfig()
-
-    def evaluate(parameters: np.ndarray) -> float:
-        return zne_expectation(ansatz, parameters, noise, config, shots, rng)
-
-    return evaluate
+    return ZneCostFunction(ansatz, noise, config, shots=shots, rng=rng)

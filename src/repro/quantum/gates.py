@@ -40,6 +40,10 @@ __all__ = [
     "rxx",
     "ryy",
     "rzz",
+    "ry_many",
+    "rz_many",
+    "rxx_many",
+    "ryy_many",
     "crx",
     "cry",
     "crz",
@@ -147,6 +151,56 @@ def rzz(theta: float) -> np.ndarray:
     phase = cmath.exp(-1j * theta / 2.0)
     conj = phase.conjugate()
     return np.diag([phase, conj, conj, phase]).astype(complex)
+
+
+def ry_many(thetas: np.ndarray) -> np.ndarray:
+    """``(B, 2, 2)`` stack of :func:`ry` matrices, one per angle.
+
+    The per-row operand shape
+    :meth:`~repro.quantum.batched.BatchedStatevector.apply_one_qubit`
+    accepts — a whole rotation layer with a different binding per row
+    becomes one call.
+    """
+    thetas = np.asarray(thetas, dtype=float)
+    c, s = np.cos(thetas / 2.0), np.sin(thetas / 2.0)
+    stack = np.empty(thetas.shape + (2, 2), dtype=complex)
+    stack[..., 0, 0] = c
+    stack[..., 0, 1] = -s
+    stack[..., 1, 0] = s
+    stack[..., 1, 1] = c
+    return stack
+
+
+def rz_many(thetas: np.ndarray) -> np.ndarray:
+    """``(B, 2, 2)`` stack of :func:`rz` matrices, one per angle."""
+    thetas = np.asarray(thetas, dtype=float)
+    phase = np.exp(-0.5j * thetas)
+    stack = np.zeros(thetas.shape + (2, 2), dtype=complex)
+    stack[..., 0, 0] = phase
+    stack[..., 1, 1] = np.conj(phase)
+    return stack
+
+
+def _two_qubit_pauli_rotation_many(
+    pauli_pair: np.ndarray, thetas: np.ndarray
+) -> np.ndarray:
+    """``(B, 4, 4)`` stack of ``exp(-i theta/2 P (x) Q)`` rotations."""
+    thetas = np.asarray(thetas, dtype=float)
+    c, s = np.cos(thetas / 2.0), np.sin(thetas / 2.0)
+    return (
+        c[..., None, None] * np.eye(4, dtype=complex)
+        - 1j * s[..., None, None] * pauli_pair
+    )
+
+
+def rxx_many(thetas: np.ndarray) -> np.ndarray:
+    """``(B, 4, 4)`` stack of :func:`rxx` matrices, one per angle."""
+    return _two_qubit_pauli_rotation_many(np.kron(X, X), thetas)
+
+
+def ryy_many(thetas: np.ndarray) -> np.ndarray:
+    """``(B, 4, 4)`` stack of :func:`ryy` matrices, one per angle."""
+    return _two_qubit_pauli_rotation_many(np.kron(Y, Y), thetas)
 
 
 def controlled(unitary: np.ndarray) -> np.ndarray:

@@ -1,0 +1,19 @@
+"""Configuration for the cross-engine equivalence harness.
+
+Makes the sibling ``harness`` module importable regardless of pytest's
+rootdir and registers the ``equivalence`` marker so the harness can run
+as its own CI job via ``pytest -m equivalence``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "equivalence: cross-engine equivalence harness (run with "
+        "`pytest -m equivalence`)",
+    )

@@ -1,0 +1,251 @@
+"""Reusable cross-engine equivalence harness.
+
+The repo ships multiple ways to evaluate the same cost function — the
+serial point-at-a-time loop over :meth:`repro.ansatz.base.Ansatz.expectation`
+and the vectorized :meth:`~repro.ansatz.base.Ansatz.expectation_many`
+batch path — and every future backend (threaded, GPU, remote) is
+expected to join them.  This module is the single place that knows how
+to prove two engines identical:
+
+- :data:`ENGINES` maps an engine name to an evaluation function with
+  the uniform signature ``(ansatz, batch, noise, shots, rng) -> values``.
+  Adding a new engine is one entry here (see ``README.md``); every
+  parametrized test in this directory then exercises it automatically.
+- :func:`assert_engines_match` runs every registered engine against the
+  reference engine with independently seeded generators and asserts
+  both *value equivalence* (to machine precision) and *rng draw-order
+  parity*: after a stochastic evaluation the generators of all engines
+  must sit at the same stream position, which is checked by comparing
+  their next draw.
+- :func:`ansatz_cases` builds the three shipped ansatzes (plus a
+  non-diagonal molecular Two-local) in paper-sized configurations, and
+  :func:`random_uccsd`/:func:`random_twolocal`/:func:`random_qaoa`
+  derive randomized instances from a seed for hypothesis-style
+  property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ansatz import QaoaAnsatz, TwoLocalAnsatz, UccsdAnsatz
+from repro.ansatz.base import Ansatz
+from repro.problems import random_3_regular_maxcut, sk_problem
+from repro.problems.chemistry import h2_hamiltonian, lih_hamiltonian
+from repro.quantum import NoiseModel
+from repro.utils import ensure_rng
+
+#: Absolute tolerance for "machine precision" equivalence.  Engine
+#: implementations are free to reorder float operations (butterfly vs
+#: BLAS summation), so bit-identity is not required — 1e-10 on O(1)
+#: cost values leaves ~5 orders of magnitude of headroom over the
+#: reorder noise while catching any semantic divergence.
+ATOL = 1e-10
+
+EngineFn = Callable[..., np.ndarray]
+
+
+def serial_engine(
+    ansatz: Ansatz,
+    batch: np.ndarray,
+    noise=None,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Reference engine: the point-at-a-time loop over ``expectation``.
+
+    Accepts the same shared-or-per-row ``noise`` spec as the batch
+    interface so per-row cases (batched ZNE's folded scale factors) can
+    be pinned against it too.
+    """
+    batch = np.asarray(batch, dtype=float)
+    noise_rows = (
+        list(noise)
+        if isinstance(noise, (list, tuple))
+        else [noise] * batch.shape[0]
+    )
+    if shots is not None:
+        rng = ensure_rng(rng)
+    return np.array(
+        [
+            ansatz.expectation(row, noise=model, shots=shots, rng=rng)
+            for row, model in zip(batch, noise_rows)
+        ]
+    ).reshape(batch.shape[0])
+
+
+def batched_engine(
+    ansatz: Ansatz,
+    batch: np.ndarray,
+    noise=None,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """The vectorized ``expectation_many`` batch engine."""
+    return ansatz.expectation_many(batch, noise=noise, shots=shots, rng=rng)
+
+
+#: Engine registry: name -> evaluation function.  ``REFERENCE_ENGINE``
+#: is what every other entry is pinned against.
+ENGINES: dict[str, EngineFn] = {
+    "serial": serial_engine,
+    "batched": batched_engine,
+}
+REFERENCE_ENGINE = "serial"
+
+
+def assert_engines_match(
+    ansatz: Ansatz,
+    batch: np.ndarray,
+    noise=None,
+    shots: int | None = None,
+    seed: int = 1234,
+    atol: float = ATOL,
+) -> None:
+    """Assert every registered engine reproduces the reference engine.
+
+    Each engine gets its own generator seeded identically; stochastic
+    paths must both produce the same values (identical draw order and
+    identical sampled distributions) and leave the generator at the
+    same stream position (checked via one probe draw afterwards).
+    """
+    reference_rng = np.random.default_rng(seed)
+    reference = ENGINES[REFERENCE_ENGINE](
+        ansatz, batch, noise=noise, shots=shots, rng=reference_rng
+    )
+    reference_probe = reference_rng.integers(1 << 63)
+    for name, engine in ENGINES.items():
+        if name == REFERENCE_ENGINE:
+            continue
+        rng = np.random.default_rng(seed)
+        values = engine(ansatz, batch, noise=noise, shots=shots, rng=rng)
+        np.testing.assert_allclose(
+            values,
+            reference,
+            rtol=0.0,
+            atol=atol,
+            err_msg=(
+                f"engine {name!r} diverges from {REFERENCE_ENGINE!r} for "
+                f"{type(ansatz).__name__} (noise={noise!r}, shots={shots})"
+            ),
+        )
+        probe = rng.integers(1 << 63)
+        assert probe == reference_probe, (
+            f"engine {name!r} consumed the rng stream differently from "
+            f"{REFERENCE_ENGINE!r} for {type(ansatz).__name__} "
+            f"(shots={shots}): draw-order parity is part of the contract"
+        )
+
+
+def assert_cost_functions_match(
+    function, batch: np.ndarray, atol: float = ATOL
+) -> None:
+    """Assert a batch-capable cost function's ``many`` equals its loop.
+
+    For wrappers above the ansatz layer (ZNE, CDR, slices) whose rng is
+    bound at construction: build two identically-seeded instances and
+    pass them through :func:`make_pair` before calling this.
+    """
+    points = np.asarray(batch, dtype=float)
+    serial = np.array([function(point) for point in points])
+    batched = np.asarray(function.many(points), dtype=float)
+    np.testing.assert_allclose(batched, serial, rtol=0.0, atol=atol)
+
+
+# -- paper-sized ansatz cases -------------------------------------------------
+
+
+def qaoa_maxcut(p: int = 1, num_qubits: int = 6, seed: int = 0) -> QaoaAnsatz:
+    return QaoaAnsatz(random_3_regular_maxcut(num_qubits, seed=seed), p=p)
+
+
+def twolocal_sk(reps: int = 1, num_qubits: int = 4, seed: int = 2) -> TwoLocalAnsatz:
+    return TwoLocalAnsatz(sk_problem(num_qubits, seed=seed).to_pauli_sum(), reps=reps)
+
+
+def twolocal_molecular(reps: int = 1) -> TwoLocalAnsatz:
+    """Two-local over the non-diagonal H2 Hamiltonian (matrix path)."""
+    return TwoLocalAnsatz(h2_hamiltonian(), reps=reps)
+
+
+def uccsd_h2() -> UccsdAnsatz:
+    return UccsdAnsatz(h2_hamiltonian(), num_parameters=3)
+
+
+def uccsd_lih() -> UccsdAnsatz:
+    return UccsdAnsatz(lih_hamiltonian(), num_parameters=8)
+
+
+def ansatz_cases() -> dict[str, Callable[[], Ansatz]]:
+    """Named factories covering all three ansatzes and both observable
+    paths (diagonal and dense-matrix)."""
+    return {
+        "qaoa-maxcut-p1": qaoa_maxcut,
+        "qaoa-maxcut-p2": lambda: qaoa_maxcut(p=2),
+        "twolocal-sk": twolocal_sk,
+        "twolocal-h2": twolocal_molecular,
+        "uccsd-h2": uccsd_h2,
+        "uccsd-lih": uccsd_lih,
+    }
+
+
+# -- randomized instances for property tests ----------------------------------
+
+
+def random_parameter_batch(
+    ansatz: Ansatz, rng: np.random.Generator, max_rows: int = 8
+) -> np.ndarray:
+    rows = int(rng.integers(1, max_rows + 1))
+    return rng.uniform(-np.pi, np.pi, size=(rows, ansatz.num_parameters))
+
+
+def random_qaoa(seed: int) -> QaoaAnsatz:
+    rng = np.random.default_rng(seed)
+    num_qubits = int(rng.integers(3, 8))
+    problem = (
+        random_3_regular_maxcut(num_qubits, seed=seed)
+        if num_qubits % 2 == 0 and num_qubits >= 4
+        else sk_problem(num_qubits, seed=seed)
+    )
+    return QaoaAnsatz(problem, p=int(rng.integers(1, 4)))
+
+
+def random_twolocal(seed: int) -> TwoLocalAnsatz:
+    rng = np.random.default_rng(seed)
+    num_qubits = int(rng.integers(2, 6))
+    hamiltonian = (
+        h2_hamiltonian()
+        if num_qubits == 2 and rng.random() < 0.5
+        else sk_problem(max(num_qubits, 2), seed=seed).to_pauli_sum()
+    )
+    return TwoLocalAnsatz(hamiltonian, reps=int(rng.integers(0, 3)))
+
+
+def random_uccsd(seed: int) -> UccsdAnsatz:
+    """A UCCSD instance with a randomized excitation layout."""
+    rng = np.random.default_rng(seed)
+    num_qubits = int(rng.integers(2, 6))
+    hamiltonian = sk_problem(num_qubits, seed=seed).to_pauli_sum()
+    num_parameters = int(rng.integers(1, 7))
+    excitations = []
+    for _ in range(num_parameters):
+        if num_qubits >= 4 and rng.random() < 0.4:
+            start = int(rng.integers(0, num_qubits - 3))
+            excitations.append(tuple(range(start, start + 4)))
+        else:
+            pair = rng.choice(num_qubits, size=2, replace=False)
+            excitations.append((int(pair[0]), int(pair[1])))
+    return UccsdAnsatz(
+        hamiltonian, num_parameters=num_parameters, excitations=excitations
+    )
+
+
+def random_noise(seed: int) -> NoiseModel:
+    rng = np.random.default_rng(seed + 99)
+    return NoiseModel(
+        p1=float(rng.uniform(0.0, 0.01)),
+        p2=float(rng.uniform(0.0, 0.02)),
+        readout=float(rng.uniform(0.0, 0.03)),
+    )

@@ -165,6 +165,18 @@ def test_measurement_helpers_match_serial():
         assert np.allclose(batched.row(row).data, serial.data, atol=ATOL)
 
 
+def test_expectation_matrix_matches_serial():
+    rng = np.random.default_rng(16)
+    data = _random_batch(3, 4, seed=17)
+    raw = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+    observable = raw + raw.conj().T  # Hermitian
+    batched = BatchedStatevector(3, data=data)
+    values = batched.expectation_matrix(observable)
+    for row in range(4):
+        serial = Statevector(3, data[row]).expectation_matrix(observable)
+        assert np.isclose(values[row], serial, atol=ATOL)
+
+
 def test_batched_sampling_shares_rng_draw_order_with_serial():
     data = _random_batch(3, 5, seed=9)
     diagonal = np.random.default_rng(10).normal(size=8)
@@ -181,6 +193,69 @@ def test_batched_sampling_shares_rng_draw_order_with_serial():
         for row in range(5)
     ]
     assert np.allclose(batched_values, serial_values, atol=ATOL)
+
+
+def test_sample_counts_default_pins_serial_draw_order():
+    """The default (rng_parity=True) batched sampler must consume the
+    shared generator exactly like a serial loop of
+    ``Statevector.sample_counts`` — identical dicts, draw for draw."""
+    data = _random_batch(3, 5, seed=12)
+    batched = BatchedStatevector(3, data=data)
+    batched_rng = np.random.default_rng(21)
+    serial_rng = np.random.default_rng(21)
+    batched_counts = batched.sample_counts(48, batched_rng)
+    serial_counts = [
+        Statevector(3, data[row]).sample_counts(48, serial_rng)
+        for row in range(5)
+    ]
+    assert batched_counts == serial_counts
+    # Both generators sit at the same stream position afterwards.
+    assert batched_rng.integers(1 << 63) == serial_rng.integers(1 << 63)
+
+
+def test_sample_counts_vectorized_multinomial_opt_in():
+    """rng_parity=False trades draw-order parity for one vectorized
+    multinomial: same per-row statistics, different draws."""
+    data = _random_batch(3, 4, seed=13)
+    batched = BatchedStatevector(3, data=data)
+    counts = batched.sample_counts(4096, np.random.default_rng(3), rng_parity=False)
+    assert len(counts) == 4
+    for row, row_counts in enumerate(counts):
+        assert sum(row_counts.values()) == 4096
+        probabilities = np.abs(data[row]) ** 2
+        for index, count in row_counts.items():
+            assert abs(count / 4096 - probabilities[index]) < 0.05
+    # Deterministic under a fixed seed.
+    again = batched.sample_counts(4096, np.random.default_rng(3), rng_parity=False)
+    assert counts == again
+    with pytest.raises(ValueError):
+        batched.sample_counts(0, rng_parity=False)
+
+
+def test_sample_expectation_diagonal_vectorized_is_unbiased():
+    data = _random_batch(3, 6, seed=14)
+    diagonal = np.random.default_rng(15).normal(size=8)
+    batched = BatchedStatevector(3, data=data)
+    exact = batched.expectation_diagonal(diagonal)
+    sampled = batched.sample_expectation_diagonal(
+        diagonal, 8192, np.random.default_rng(4), rng_parity=False
+    )
+    assert sampled.shape == exact.shape
+    bound = 6.0 * float(np.ptp(diagonal)) / np.sqrt(8192)
+    assert np.all(np.abs(sampled - exact) < bound)
+    assert not np.allclose(sampled, exact)  # genuinely stochastic
+    with pytest.raises(ValueError):
+        batched.sample_expectation_diagonal(
+            diagonal, -1, np.random.default_rng(0), rng_parity=False
+        )
+
+
+def test_vectorized_sampler_renormalizes_unnormalized_rows():
+    data = np.array([[2.0, 0.0], [1.0, 1.0]], dtype=complex)  # unnormalized
+    batched = BatchedStatevector(1, data=data)
+    counts = batched.sample_counts(512, np.random.default_rng(5), rng_parity=False)
+    assert counts[0] == {0: 512}
+    assert sum(counts[1].values()) == 512 and set(counts[1]) == {0, 1}
 
 
 def test_copy_is_independent():

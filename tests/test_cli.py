@@ -51,6 +51,29 @@ def test_reconstruct_command_noisy_with_render(capsys):
     assert "|" in output  # side-by-side render
 
 
+def test_reconstruct_command_zne(capsys):
+    code = main(
+        [
+            "reconstruct",
+            "--qubits", "6",
+            "--resolution", "8", "16",
+            "--fraction", "0.3",
+            "--zne", "richardson",
+            "--shots", "256",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "zne: richardson" in output
+    assert "3 execution rows per point" in output
+    assert "NRMSE" in output
+
+
+def test_reconstruct_rejects_unknown_zne_method():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["reconstruct", "--zne", "cubic"])
+
+
 def test_sycamore_command(capsys):
     code = main(["sycamore", "--kind", "mesh", "--fraction", "0.3"])
     assert code == 0
