@@ -34,6 +34,8 @@ Subpackage map (details in DESIGN.md):
 - :mod:`repro.hardware` — simulated QPUs, pools, latency models,
 - :mod:`repro.parallel` — multi-QPU sampling, NCM, eager reconstruction,
 - :mod:`repro.initialization` — OSCAR-based initial points,
+- :mod:`repro.service` — sharded multiprocess execution + the
+  content-addressed landscape store,
 - :mod:`repro.datasets` — synthetic Sycamore landscapes,
 - :mod:`repro.viz` — ASCII heatmaps,
 - :mod:`repro.experiments` — table/figure regeneration runners.
@@ -74,6 +76,7 @@ from .problems import (
     sk_problem,
 )
 from .quantum import BatchedStatevector, NoiseModel, QuantumCircuit, Statevector
+from .service import LandscapeSpec, LandscapeStore, ShardedExecutor
 from .utils import ensure_rng
 
 __version__ = "1.0.0"
@@ -110,6 +113,9 @@ __all__ = [
     "ParallelSampler",
     "eager_reconstruct",
     "BatchedStatevector",
+    "LandscapeSpec",
+    "LandscapeStore",
+    "ShardedExecutor",
     "ensure_rng",
     "IsingProblem",
     "PauliString",

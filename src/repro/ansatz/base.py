@@ -35,6 +35,14 @@ from ..utils import ensure_rng
 __all__ = ["Ansatz"]
 
 
+#: Accepted shot-noise sampling strategies for the batch path.
+#: ``"parity"`` preserves the serial loop's rng draw order (the
+#: cross-engine equivalence contract); ``"multinomial"`` opts into the
+#: vectorized multinomial sampler where one exists (same per-row
+#: statistics, different draw order).
+SAMPLERS = ("parity", "multinomial")
+
+
 class Ansatz(abc.ABC):
     """A parametric circuit plus the cost observable it is scored by."""
 
@@ -42,6 +50,15 @@ class Ansatz(abc.ABC):
     num_parameters: int
     #: circuit width
     num_qubits: int
+
+    @staticmethod
+    def validate_sampler(sampler: str) -> str:
+        """Check a ``sampler=`` value against :data:`SAMPLERS`."""
+        if sampler not in SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {sampler!r}; choose from {SAMPLERS}"
+            )
+        return sampler
 
     @abc.abstractmethod
     def circuit(self, parameters: Sequence[float]) -> QuantumCircuit:
@@ -72,6 +89,7 @@ class Ansatz(abc.ABC):
         noise: NoiseModel | Sequence[NoiseModel | None] | None = None,
         shots: int | None = None,
         rng: np.random.Generator | None = None,
+        sampler: str = "parity",
     ) -> np.ndarray:
         """Cost-function values for a batch of parameter points.
 
@@ -93,11 +111,18 @@ class Ansatz(abc.ABC):
                 scale factors into the batch axis.
             shots: if given, add measurement shot noise per row.
             rng: random generator shared across the batch.
+            sampler: shot-noise sampling strategy (:data:`SAMPLERS`).
+                ``"parity"`` keeps the serial loop's draw order;
+                ``"multinomial"`` opts into a vectorized sampler on the
+                ansatzes that have one (QAOA's measurement sampler).
+                Advisory for implementations whose shot model is
+                already a single vectorized draw block.
 
         Returns:
             The ``(B,)`` array of cost values, row-aligned with the
             input batch.
         """
+        self.validate_sampler(sampler)
         batch = self._validate_batch(parameters_batch)
         noise_rows = self._resolve_noise(noise, batch.shape[0])
         if shots is not None:
@@ -112,6 +137,22 @@ class Ansatz(abc.ABC):
     def parameter_names(self) -> list[str]:
         """Stable display names for the parameters (default: p0..pk)."""
         return [f"p{i}" for i in range(self.num_parameters)]
+
+    def cache_spec(self) -> dict:
+        """Canonical content description for the landscape store.
+
+        Must capture everything that determines expectation values —
+        the structural parameters *and* the full problem content
+        (couplings, Pauli terms, excitations) — as a JSON-able nested
+        payload: two ansatzes with equal payloads must produce equal
+        landscapes, and any content change must change the payload.
+        The shipped ansatzes implement this; custom ansatzes must
+        override it before their landscapes can be cached.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not describe itself for the "
+            "landscape store; override cache_spec() to enable caching"
+        )
 
     def statevector(self, parameters: Sequence[float]) -> Statevector:
         """The exact output state (default: simulate the circuit)."""

@@ -263,16 +263,22 @@ class QaoaAnsatz(Ansatz):
         noise: NoiseModel | Sequence[NoiseModel | None] | None = None,
         shots: int | None = None,
         rng: np.random.Generator | None = None,
+        sampler: str = "parity",
     ) -> np.ndarray:
         """Vectorized :meth:`expectation` over a parameter batch.
 
         Semantics match a serial loop of :meth:`expectation` row by
         row: the same diagonal fast path, the same cached depolarizing
-        contraction, and — for ``shots`` requests — the same per-row
-        rng draw order.  ``noise`` may vary per row (a length-``B``
-        sequence), in which case the analytic contraction is applied
-        with a per-row factor — the path batched ZNE rides.
+        contraction, and — for ``shots`` requests with the default
+        ``sampler="parity"`` — the same per-row rng draw order.
+        ``sampler="multinomial"`` switches the shot sampling to one
+        vectorized multinomial per stack (identical per-row statistics,
+        different draw order, markedly faster on shots-heavy grids).
+        ``noise`` may vary per row (a length-``B`` sequence), in which
+        case the analytic contraction is applied with a per-row factor
+        — the path batched ZNE rides.
         """
+        self.validate_sampler(sampler)
         batch = self._validate_batch(parameters_batch)
         noise_rows = self._resolve_noise(noise, batch.shape[0])
         state = self.statevector_many(batch)
@@ -284,11 +290,88 @@ class QaoaAnsatz(Ansatz):
             return exact
         rng = ensure_rng(rng)
         sampled = state.sample_expectation_diagonal(
-            self._cost_diagonal, shots, rng
+            self._cost_diagonal, shots, rng, rng_parity=(sampler == "parity")
         )
         if contraction is not None:
             sampled = self._contract(sampled, *contraction)
         return sampled
+
+    def expectation_many_scaled(
+        self,
+        parameters_batch: Sequence[Sequence[float]] | np.ndarray,
+        noise_models: Sequence[NoiseModel | None],
+        shots: int | None = None,
+        rng: np.random.Generator | None = None,
+        sampler: str = "parity",
+    ) -> np.ndarray:
+        """``(B, S)`` noisy expectations with one simulation per point.
+
+        The ZNE fast path: on the analytic-contraction engine the ideal
+        statevector is *noise-scale independent*, so instead of folding
+        the ``S`` scale factors into the batch axis (re-simulating every
+        point once per scale), each point is simulated once and its
+        exact value / measurement distribution is reused across all
+        scale models — only the cheap per-scale contraction (and, with
+        ``shots``, the per-(point, scale) sampling) remains.
+
+        Semantics match a serial per-(point, scale) loop of
+        :meth:`expectation` in point-major / scale-minor order, rng
+        draws included for ``sampler="parity"``.
+        """
+        self.validate_sampler(sampler)
+        batch = self._validate_batch(parameters_batch)
+        models = list(noise_models)
+        for model in models:
+            if model is not None and not isinstance(model, NoiseModel):
+                raise TypeError(
+                    f"noise_models entries must be NoiseModel or None, "
+                    f"got {type(model).__name__}"
+                )
+        num_points, num_scales = batch.shape[0], len(models)
+        if num_scales == 0:
+            return np.empty((num_points, 0))
+        state = self.statevector_many(batch)
+        noisy = np.array(
+            [model is not None and not model.is_ideal for model in models],
+            dtype=bool,
+        )
+        factors = np.array(
+            [
+                self._contraction_factor(model) if flagged else 1.0
+                for model, flagged in zip(models, noisy)
+            ]
+        )
+        if shots is None:
+            exact = state.expectation_diagonal(self._cost_diagonal)
+            values = np.repeat(exact[:, None], num_scales, axis=1)
+        else:
+            rng = ensure_rng(rng)
+            if sampler == "multinomial":
+                # One multinomial over the point-major/scale-minor row
+                # expansion: each point's distribution repeated per
+                # scale, all sampled in a single vectorized draw.
+                counts = state._multinomial_counts(
+                    shots, rng, repeats=num_scales
+                )
+                values = (
+                    (counts @ self._cost_diagonal) / shots
+                ).reshape(num_points, num_scales)
+            else:
+                # Parity: sample per (point, scale) from the shared
+                # per-point state, in exactly the serial loop's order.
+                values = np.empty((num_points, num_scales))
+                for index in range(num_points):
+                    row = state.row(index)
+                    for scale in range(num_scales):
+                        values[index, scale] = row.sample_expectation_diagonal(
+                            self._cost_diagonal, shots, rng
+                        )
+        # Contract noisy columns; ideal columns stay bit-identical (the
+        # serial loop never scales them either).
+        values[:, noisy] = self._cost_mean + factors[noisy][None, :] * (
+            values[:, noisy] - self._cost_mean
+        )
+        return values
 
     def expectation_trajectory(
         self,
@@ -312,6 +395,30 @@ class QaoaAnsatz(Ansatz):
     def cost_diagonal(self) -> np.ndarray:
         """The problem's diagonal cost vector (read-only copy)."""
         return self._cost_diagonal.copy()
+
+    def cache_spec(self) -> dict:
+        """Canonical content description for the landscape store.
+
+        The problem is described by its full coupling/field content
+        (what the cost diagonal derives from), not its display name, so
+        two identically-wired instances share a cache key regardless of
+        labelling.
+        """
+        return {
+            "type": "qaoa",
+            "p": self.p,
+            "num_qubits": self.num_qubits,
+            "problem": {
+                "couplings": [
+                    [int(i), int(j), float(w)]
+                    for i, j, w in self.problem.couplings
+                ],
+                "fields": [
+                    [int(i), float(h)] for i, h in self.problem.fields
+                ],
+                "offset": float(self.problem.offset),
+            },
+        }
 
     def parameter_names(self) -> list[str]:
         return [f"beta_{l}" for l in range(self.p)] + [

@@ -129,6 +129,7 @@ class TwoLocalAnsatz(Ansatz):
         noise: NoiseModel | Sequence[NoiseModel | None] | None = None,
         shots: int | None = None,
         rng: np.random.Generator | None = None,
+        sampler: str = "parity",
     ) -> np.ndarray:
         """Vectorized :meth:`expectation` over a parameter batch.
 
@@ -137,8 +138,11 @@ class TwoLocalAnsatz(Ansatz):
         loop — these ansatzes run at n <= 6 where O(4^n) is cheap).
         Shot noise is drawn after all rows are evaluated, one draw per
         row in batch order, so a serial loop over :meth:`expectation`
-        with the same generator sees identical draws.
+        with the same generator sees identical draws.  ``sampler`` is
+        accepted for interface uniformity but is a no-op here: the
+        Gaussian shot model is already one vectorized draw block.
         """
+        self.validate_sampler(sampler)
         batch = self._validate_batch(parameters_batch)
         noise_rows = self._resolve_noise(noise, batch.shape[0])
         return self._expectation_many_split(
@@ -196,9 +200,27 @@ class TwoLocalAnsatz(Ansatz):
         """Crude per-shot standard-deviation bound: sum of |coeffs|."""
         return float(sum(abs(term.coefficient) for term in self.hamiltonian))
 
+    def cache_spec(self) -> dict:
+        """Canonical content description for the landscape store."""
+        return {
+            "type": "twolocal",
+            "reps": self.reps,
+            "num_qubits": self.num_qubits,
+            "hamiltonian": _pauli_sum_spec(self.hamiltonian),
+        }
+
     def parameter_names(self) -> list[str]:
         return [
             f"theta_{layer}_{qubit}"
             for layer in range(self.reps + 1)
             for qubit in range(self.num_qubits)
         ]
+
+
+def _pauli_sum_spec(hamiltonian: PauliSum) -> list[list]:
+    """Canonical term list of a Pauli-sum observable: sorted
+    ``[label, re, im]`` rows (complex coefficients split for JSON)."""
+    return [
+        [term.label, float(term.coefficient.real), float(term.coefficient.imag)]
+        for term in sorted(hamiltonian, key=lambda term: term.label)
+    ]

@@ -209,6 +209,7 @@ class UccsdAnsatz(Ansatz):
         noise: NoiseModel | Sequence[NoiseModel | None] | None = None,
         shots: int | None = None,
         rng: np.random.Generator | None = None,
+        sampler: str = "parity",
     ) -> np.ndarray:
         """Vectorized :meth:`expectation` over a parameter batch.
 
@@ -216,8 +217,11 @@ class UccsdAnsatz(Ansatz):
         keep the exact density-matrix engine per row, like the serial
         loop.  Shot noise is drawn one row at a time in batch order, so
         a serial loop over :meth:`expectation` with the same generator
-        sees identical draws.
+        sees identical draws.  ``sampler`` is accepted for interface
+        uniformity but is a no-op here: the Gaussian shot model is
+        already one vectorized draw block.
         """
+        self.validate_sampler(sampler)
         batch = self._validate_batch(parameters_batch)
         noise_rows = self._resolve_noise(noise, batch.shape[0])
         return self._expectation_many_split(
@@ -256,6 +260,19 @@ class UccsdAnsatz(Ansatz):
             return value
         rng = ensure_rng(rng)
         return value + rng.normal(0.0, self._shot_scale() / np.sqrt(shots))
+
+    def cache_spec(self) -> dict:
+        """Canonical content description for the landscape store."""
+        from .twolocal import _pauli_sum_spec
+
+        return {
+            "type": "uccsd",
+            "num_qubits": self.num_qubits,
+            "num_parameters": self.num_parameters,
+            "excitations": [list(exc) for exc in self.excitations],
+            "initial_bitstring": self.initial_bitstring,
+            "hamiltonian": _pauli_sum_spec(self.hamiltonian),
+        }
 
     def parameter_names(self) -> list[str]:
         return [

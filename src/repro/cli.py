@@ -54,6 +54,25 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: memory-capped automatic)",
         )
 
+    def add_service(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="processes for sharded landscape execution (default: 1, "
+            "in-process)",
+        )
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            help="content-addressed landscape store directory; repeated "
+            "identical requests become file loads (see `oscar-repro cache`). "
+            "NOTE: with --shots, either --workers > 1 or --cache-dir "
+            "switches execution to the seeded per-shard rng plan "
+            "(reproducible for any worker count, but a different draw "
+            "order than the default single-process path)",
+        )
+
     recon = sub.add_parser("reconstruct", help="reconstruct a QAOA landscape")
     recon.add_argument("--qubits", type=int, default=10)
     recon.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
@@ -77,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     recon.add_argument("--seed", type=int, default=0)
     recon.add_argument("--render", action="store_true", help="print ASCII heatmaps")
     add_batch_size(recon)
+    add_service(recon)
 
     syc = sub.add_parser("sycamore", help="reconstruct a synthetic Sycamore landscape")
     syc.add_argument("--kind", choices=("mesh", "3-regular", "sk"), default="sk")
@@ -84,18 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
     syc.add_argument("--seed", type=int, default=0)
     syc.add_argument("--render", action="store_true")
     add_batch_size(syc)
+    add_service(syc)
 
     speed = sub.add_parser("speedup", help="measure the headline speedup")
     speed.add_argument("--qubits", type=int, default=10)
     speed.add_argument("--target-nrmse", type=float, default=0.05)
     speed.add_argument("--seed", type=int, default=0)
     add_batch_size(speed)
+    add_service(speed)
 
     sparse = sub.add_parser("sparsity", help="DCT sparsity of a landscape")
     sparse.add_argument("--qubits", type=int, default=10)
     sparse.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
     sparse.add_argument("--seed", type=int, default=0)
     add_batch_size(sparse)
+    add_service(sparse)
 
     adaptive = sub.add_parser(
         "adaptive", help="reconstruct with automatically chosen sampling fraction"
@@ -116,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
     analyze.add_argument("--seed", type=int, default=0)
     add_batch_size(analyze)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear a landscape store directory"
+    )
+    cache.add_argument("action", choices=("list", "clear"))
+    cache.add_argument(
+        "--cache-dir", required=True, help="store directory to operate on"
+    )
 
     batch = sub.add_parser(
         "batch",
@@ -147,6 +178,15 @@ def _problem(kind: str, qubits: int, seed: int):
     return sk_problem(qubits, seed=seed)
 
 
+def _store(args: argparse.Namespace):
+    """A LandscapeStore for --cache-dir, or ``None`` when unset."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from .service import LandscapeStore
+
+    return LandscapeStore(args.cache_dir)
+
+
 def _command_reconstruct(args: argparse.Namespace) -> int:
     from .mitigation import ZneConfig, zne_cost_function
 
@@ -171,7 +211,18 @@ def _command_reconstruct(args: argparse.Namespace) -> int:
         )
     else:
         function = cost_function(ansatz, noise=noise, shots=args.shots, rng=rng)
-    generator = LandscapeGenerator(function, grid, batch_size=args.batch_size)
+    generator = LandscapeGenerator(
+        function,
+        grid,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        # Multiprocess (or cached) shot noise needs a seeding plan the
+        # cache key can record; exact runs stay plan-independent.
+        seed=args.seed
+        if (args.shots is not None and (args.workers > 1 or args.cache_dir))
+        else None,
+        store=_store(args),
+    )
     truth = generator.grid_search(label="grid-search")
     oscar = OscarReconstructor(grid, rng=args.seed)
     reconstruction, report = oscar.reconstruct(generator, args.fraction)
@@ -188,7 +239,11 @@ def _command_reconstruct(args: argparse.Namespace) -> int:
 
 def _command_sycamore(args: argparse.Namespace) -> int:
     hardware, _ = sycamore_landscape(
-        args.kind, seed=args.seed, batch_size=args.batch_size
+        args.kind,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        store=_store(args),
     )
     oscar = OscarReconstructor(hardware.grid, rng=args.seed)
     indices = oscar.sample_indices(args.fraction)
@@ -211,6 +266,8 @@ def _command_speedup(args: argparse.Namespace) -> int:
         target_nrmse=args.target_nrmse,
         seed=args.seed,
         batch_size=args.batch_size,
+        workers=args.workers,
+        store=_store(args),
     )
     print(
         f"grid: {result.grid_executions} executions  "
@@ -226,7 +283,11 @@ def _command_sparsity(args: argparse.Namespace) -> int:
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=(30, 60))
     generator = LandscapeGenerator(
-        cost_function(ansatz), grid, batch_size=args.batch_size
+        cost_function(ansatz),
+        grid,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        store=_store(args),
     )
     truth = generator.grid_search()
     fraction = truth.dct_sparsity()
@@ -334,6 +395,28 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cache(args: argparse.Namespace) -> int:
+    from .service import LandscapeStore
+
+    store = LandscapeStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached landscape(s) from {store.root}")
+        return 0
+    entries = store.entries()
+    if not entries:
+        print(f"no cached landscapes in {store.root}")
+        return 0
+    print(f"{len(entries)} cached landscape(s) in {store.root} "
+          f"({store.total_bytes()} payload bytes), LRU first:")
+    for entry in entries:
+        print(
+            f"  {entry.key}  {entry.payload_bytes:>8d} B  "
+            f"access {entry.access:>4d}  {entry.label}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "reconstruct": _command_reconstruct,
     "sycamore": _command_sycamore,
@@ -342,6 +425,7 @@ _COMMANDS = {
     "adaptive": _command_adaptive,
     "analyze": _command_analyze,
     "batch": _command_batch,
+    "cache": _command_cache,
 }
 
 

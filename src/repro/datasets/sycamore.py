@@ -106,6 +106,8 @@ def sycamore_landscape(
     seed: int = 0,
     config: SycamoreConfig | None = None,
     batch_size: int | None = None,
+    workers: int = 1,
+    store=None,
 ) -> tuple[Landscape, Landscape]:
     """Generate a (hardware-like, ideal) landscape pair.
 
@@ -117,6 +119,11 @@ def sycamore_landscape(
             custom config is supplied.
         batch_size: grid points per vectorized execution pass for the
             underlying ideal landscape (``None`` = memory-capped default).
+        workers: processes for sharded generation of the ideal
+            landscape (``1`` = in-process).
+        store: optional :class:`~repro.service.store.LandscapeStore`;
+            the (exact) ideal landscape is then served from cache on
+            repeated calls, leaving only the cheap noise synthesis.
 
     Returns:
         ``(hardware, ideal)`` landscapes on the same 50 x 50 grid.
@@ -127,7 +134,13 @@ def sycamore_landscape(
     problem = _problem_instance(kind, config.num_qubits, seed)
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=(config.resolution, config.resolution))
-    generator = LandscapeGenerator(cost_function(ansatz), grid, batch_size=batch_size)
+    generator = LandscapeGenerator(
+        cost_function(ansatz),
+        grid,
+        batch_size=batch_size,
+        workers=workers,
+        store=store,
+    )
     ideal = generator.grid_search(label=f"sycamore-{kind}-ideal")
 
     values = ideal.values

@@ -63,6 +63,7 @@ def run_mitigation_study(
     sampling_fraction: float = 0.15,
     seed: int = 0,
     batch_size: int | None = None,
+    workers: int = 1,
 ) -> tuple[MitigationLandscapes, list[MetricsRow]]:
     """Generate the Fig. 9 landscapes and the Fig. 10 metric table.
 
@@ -96,7 +97,15 @@ def run_mitigation_study(
     sample_sets = []
     settings = list(functions)
     for position, (setting, function) in enumerate(functions.items()):
-        generator = LandscapeGenerator(function, grid, batch_size=batch_size)
+        generator = LandscapeGenerator(
+            function,
+            grid,
+            batch_size=batch_size,
+            workers=workers,
+            # Multiprocess shot noise needs a per-shard seeding plan;
+            # in-process runs keep the serial rng threading untouched.
+            seed=(seed + 31 * (position + 1)) if workers > 1 else None,
+        )
         truth = generator.grid_search(label=f"{setting}-original")
         # Stable per-setting seed (str hash is randomized per process).
         reconstructor = OscarReconstructor(grid, rng=seed + 101 * (position + 1))

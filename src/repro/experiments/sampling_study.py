@@ -48,6 +48,7 @@ def _instance_errors(
     seed: int,
     shots: int | None,
     batch_size: int | None = None,
+    workers: int = 1,
 ) -> np.ndarray:
     """Per-instance NRMSE; sampling/execution stay per-instance (seeded
     identically to the serial path) while the reconstructions of all
@@ -64,6 +65,10 @@ def _instance_errors(
             cost_function(ansatz, noise=noise, shots=shots, rng=rng),
             grid,
             batch_size=batch_size,
+            workers=workers,
+            # Multiprocess shot noise needs a per-shard seeding plan;
+            # in-process runs keep the serial rng threading untouched.
+            seed=(seed + 57 * instance) if (workers > 1 and shots) else None,
         )
         truths.append(generator.grid_search())
         reconstructor = OscarReconstructor(grid, rng=seed + 101 * instance)
@@ -86,6 +91,7 @@ def run_fig4_sweep(
     shots: int | None = 4096,
     seed: int = 0,
     batch_size: int | None = None,
+    workers: int = 1,
 ) -> list[FractionSweepPoint]:
     """One panel of Fig. 4: quartile NRMSE vs sampling fraction.
 
@@ -103,6 +109,8 @@ def run_fig4_sweep(
         seed: base seed; instances use ``seed + i``.
         batch_size: grid points per vectorized execution pass (``None``
             picks the memory-capped default).
+        workers: processes for sharded landscape evaluation (noisy
+            panels switch to per-shard seeded shot noise when > 1).
     """
     noise = FIG4_NOISE if noisy else None
     if qubit_counts is None:
@@ -120,6 +128,7 @@ def run_fig4_sweep(
                 seed,
                 shots if noisy else None,
                 batch_size=batch_size,
+                workers=workers,
             )
             q1, median, q3 = np.percentile(errors, (25, 50, 75))
             points.append(

@@ -138,7 +138,15 @@ def slice_generator(
     shots: int | None = None,
     rng: np.random.Generator | None = None,
     batch_size: int | None = None,
+    workers: int = 1,
 ) -> LandscapeGenerator:
-    """A batch-capable :class:`LandscapeGenerator` over the slice's grid."""
+    """A batch-capable :class:`LandscapeGenerator` over the slice's grid.
+
+    ``workers`` fans the slice grid out across the sharded executor
+    (exact slices only: shot-noise slices bind their rng here, which
+    multiprocess execution would need a ``seed=`` plan for).
+    """
     function = SliceCostFunction(ansatz, spec, noise=noise, shots=shots, rng=rng)
-    return LandscapeGenerator(function, spec.grid, batch_size=batch_size)
+    return LandscapeGenerator(
+        function, spec.grid, batch_size=batch_size, workers=workers
+    )

@@ -51,18 +51,28 @@ def measure_speedup(
     fractions: tuple[float, ...] = (0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2),
     seed: int = 0,
     batch_size: int | None = None,
+    workers: int = 1,
+    store=None,
 ) -> SpeedupResult:
     """Find the smallest sampling fraction meeting the accuracy target.
 
     Sweeps fractions in increasing order and stops at the first whose
     reconstruction meets ``target_nrmse``; the speedup is grid size over
     the samples used.  Falls back to the best fraction tried if none
-    meets the target.
+    meets the target.  ``workers`` shards the (exact) landscape
+    evaluation across processes; ``store`` serves the dense ground
+    truth from a :class:`~repro.service.store.LandscapeStore` cache.
     """
     problem = random_3_regular_maxcut(num_qubits, seed=seed)
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=resolution)
-    generator = LandscapeGenerator(cost_function(ansatz), grid, batch_size=batch_size)
+    generator = LandscapeGenerator(
+        cost_function(ansatz),
+        grid,
+        batch_size=batch_size,
+        workers=workers,
+        store=store,
+    )
     truth = generator.grid_search()
 
     best: SpeedupResult | None = None

@@ -64,6 +64,7 @@ def slice_reconstruction_error(
     repeats: int = 3,
     seed: int = 0,
     batch_size: int | None = None,
+    workers: int = 1,
 ) -> tuple[float, float]:
     """Median (NRMSE, DCT-sparsity) over random 2-parameter slices.
 
@@ -79,7 +80,9 @@ def slice_reconstruction_error(
     sparsities = []
     for _ in range(repeats):
         spec = random_slice(ansatz, points_per_axis, rng=rng)
-        generator = slice_generator(ansatz, spec, batch_size=batch_size)
+        generator = slice_generator(
+            ansatz, spec, batch_size=batch_size, workers=workers
+        )
         truth = generator.grid_search()
         reconstructor = OscarReconstructor(spec.grid, rng=rng)
         reconstruction, _ = reconstructor.reconstruct(generator, sampling_fraction)
@@ -93,6 +96,7 @@ def run_table2(
     sampling_fraction: float = 0.35,
     seed: int = 0,
     batch_size: int | None = None,
+    workers: int = 1,
 ) -> list[SliceReconstructionRow]:
     """Table 2: QAOA vs Two-local on 4/6-qubit MaxCut and SK problems.
 
@@ -117,7 +121,13 @@ def run_table2(
             ("Two-local", _twolocal_for_params(hamiltonian, num_parameters)),
         ):
             error, sparsity = slice_reconstruction_error(
-                ansatz, points, sampling_fraction, repeats, seed, batch_size
+                ansatz,
+                points,
+                sampling_fraction,
+                repeats,
+                seed,
+                batch_size,
+                workers,
             )
             rows.append(
                 SliceReconstructionRow(
@@ -138,6 +148,7 @@ def run_table3(
     sampling_fraction: float = 0.35,
     seed: int = 0,
     batch_size: int | None = None,
+    workers: int = 1,
 ) -> list[SliceReconstructionRow]:
     """Table 3: H2 and LiH with Two-local and UCCSD ansatzes.
 
@@ -157,7 +168,7 @@ def run_table3(
     rows = []
     for molecule, ansatz_name, ansatz, points in cases:
         error, sparsity = slice_reconstruction_error(
-            ansatz, points, sampling_fraction, repeats, seed, batch_size
+            ansatz, points, sampling_fraction, repeats, seed, batch_size, workers
         )
         rows.append(
             SliceReconstructionRow(
@@ -174,7 +185,10 @@ def run_table3(
 
 
 def run_table4(
-    repeats: int = 3, seed: int = 0, batch_size: int | None = None
+    repeats: int = 3,
+    seed: int = 0,
+    batch_size: int | None = None,
+    workers: int = 1,
 ) -> list[SliceReconstructionRow]:
     """Table 4: DCT-sparsity fractions across problems and ansatzes.
 
@@ -189,7 +203,9 @@ def run_table4(
         fractions = []
         for _ in range(repeats):
             spec = random_slice(ansatz, points, rng=rng)
-            truth = slice_generator(ansatz, spec, batch_size=batch_size).grid_search()
+            truth = slice_generator(
+                ansatz, spec, batch_size=batch_size, workers=workers
+            ).grid_search()
             fractions.append(dct_sparsity(truth.values))
         return float(np.median(fractions))
 

@@ -21,11 +21,24 @@ evaluated in memory-capped chunks of ``batch_size`` points per
 vectorized pass instead of one Python-level call per point.  Plain
 closures without a ``many`` attribute still work and fall back to the
 point-at-a-time loop, so custom cost functions need no changes.
+
+On top of the single-process engine sit the service knobs
+(:mod:`repro.service`):
+
+- ``workers=`` / ``shard_points=`` / ``seed=`` fan the evaluation out
+  across a :class:`~repro.service.shards.ShardedExecutor` — contiguous
+  grid shards on a multiprocessing pool, with per-shard
+  ``SeedSequence.spawn`` generators when ``seed`` is given so
+  shot-noise results are bit-identical for any worker count;
+- ``store=`` consults a content-addressed
+  :class:`~repro.service.store.LandscapeStore` before running a grid
+  search, so repeated requests for the same landscape are file loads.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -35,9 +48,61 @@ from ..quantum.noise import NoiseModel
 from .grid import ParameterGrid
 from .landscape import Landscape
 
-__all__ = ["AnsatzCostFunction", "LandscapeGenerator", "cost_function"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service uses us)
+    from ..service.store import LandscapeSpec, LandscapeStore
+
+__all__ = [
+    "AnsatzCostFunction",
+    "LandscapeGenerator",
+    "cost_function",
+    "evaluate_points_chunked",
+    "resolve_batch_size",
+]
 
 CostFunction = Callable[[np.ndarray], float]
+
+
+def resolve_batch_size(function: CostFunction, batch_size: int | None) -> int:
+    """Points per vectorized pass for a cost function.
+
+    ``None`` picks a memory-capped default from the function's qubit
+    count (:func:`~repro.quantum.batched.default_batch_size`), divided
+    by its ``rows_per_point`` when each landscape point fans out into
+    several execution rows (batched ZNE).  An explicit value always
+    counts *points*.
+    """
+    if batch_size is not None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return int(batch_size)
+    rows = max(1, int(getattr(function, "rows_per_point", 1)))
+    capacity = default_batch_size(getattr(function, "num_qubits", None))
+    return max(1, capacity // rows)
+
+
+def evaluate_points_chunked(
+    function: CostFunction, points: np.ndarray, batch_size: int | None = None
+) -> np.ndarray:
+    """Cost values for ``(m, ndim)`` points, chunked through ``many``.
+
+    The single-process evaluation core, shared by
+    :class:`LandscapeGenerator` and the sharded executor's workers
+    (each shard runs exactly this).  Functions without a ``many``
+    attribute fall back to the point-at-a-time loop.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] == 0:
+        return np.empty(0)
+    many = getattr(function, "many", None)
+    if many is None:
+        return np.array([function(point) for point in points])
+    chunk = resolve_batch_size(function, batch_size)
+    return np.concatenate(
+        [
+            np.asarray(many(points[start : start + chunk]), dtype=float)
+            for start in range(0, points.shape[0], chunk)
+        ]
+    )
 
 
 class AnsatzCostFunction:
@@ -50,7 +115,16 @@ class AnsatzCostFunction:
     - :meth:`many` — the vectorized batch path, forwarding to
       :meth:`~repro.ansatz.base.Ansatz.expectation_many`;
     - :attr:`num_qubits` — so the landscape layer can pick a
-      memory-capped default batch size.
+      memory-capped default batch size;
+    - :meth:`cache_spec` — the canonical content description the
+      landscape store hashes into a cache key.
+
+    ``sampler`` selects the shot-noise sampling strategy of the batch
+    path: ``"parity"`` (default) preserves the serial loop's rng draw
+    order; ``"multinomial"`` opts into the vectorized multinomial
+    sampler (same per-row statistics, different draw order, markedly
+    faster on shots-heavy grids — see
+    :meth:`~repro.quantum.batched.BatchedStatevector.sample_expectation_diagonal`).
     """
 
     def __init__(
@@ -59,11 +133,13 @@ class AnsatzCostFunction:
         noise: NoiseModel | None = None,
         shots: int | None = None,
         rng: np.random.Generator | None = None,
+        sampler: str = "parity",
     ):
         self.ansatz = ansatz
         self.noise = noise
         self.shots = shots
         self.rng = rng
+        self.sampler = Ansatz.validate_sampler(sampler)
 
     @property
     def num_qubits(self) -> int:
@@ -79,8 +155,36 @@ class AnsatzCostFunction:
     def many(self, parameters_batch: np.ndarray) -> np.ndarray:
         """Cost values for a ``(B, num_parameters)`` batch of points."""
         return self.ansatz.expectation_many(
-            parameters_batch, noise=self.noise, shots=self.shots, rng=self.rng
+            parameters_batch,
+            noise=self.noise,
+            shots=self.shots,
+            rng=self.rng,
+            sampler=self.sampler,
         )
+
+    def cache_spec(self) -> dict:
+        """Canonical content description for the landscape store.
+
+        Captures everything that determines exact values: the ansatz
+        and problem content (:meth:`~repro.ansatz.base.Ansatz.cache_spec`),
+        the noise model, and the shot budget.  The sampler only matters
+        when shot noise is drawn, so it is recorded only then — exact
+        landscapes share one key across sampler settings.
+        """
+        spec = {
+            "kind": "ansatz",
+            "ansatz": self.ansatz.cache_spec(),
+            "noise": _noise_spec(self.noise),
+            "shots": self.shots,
+        }
+        if self.shots is not None:
+            spec["sampler"] = self.sampler
+        return spec
+
+
+def _noise_spec(noise: NoiseModel | None) -> dict | None:
+    """Canonical payload of a noise model (``None`` stays ``None``)."""
+    return None if noise is None else noise.cache_spec()
 
 
 def cost_function(
@@ -88,9 +192,12 @@ def cost_function(
     noise: NoiseModel | None = None,
     shots: int | None = None,
     rng: np.random.Generator | None = None,
+    sampler: str = "parity",
 ) -> AnsatzCostFunction:
     """Bind an ansatz and execution settings into a batch-capable callable."""
-    return AnsatzCostFunction(ansatz, noise=noise, shots=shots, rng=rng)
+    return AnsatzCostFunction(
+        ansatz, noise=noise, shots=shots, rng=rng, sampler=sampler
+    )
 
 
 class LandscapeGenerator:
@@ -110,6 +217,17 @@ class LandscapeGenerator:
             ``rows_per_point`` cost function the folded execution batch
             is ``batch_size * rows_per_point`` rows, so keep explicit
             overrides small on mitigated landscapes.
+        workers: processes for sharded execution (``1`` = in-process).
+        shard_points: points per shard for the sharded executor
+            (``None`` = its worker-count-independent default).
+        seed: root seed for per-shard shot-noise generators.  Required
+            for multiprocess shot noise and for caching shot-noise
+            landscapes; makes seeded results bit-identical for any
+            worker count.  Takes precedence over the cost function's
+            bound ``rng`` when set.
+        store: a :class:`~repro.service.store.LandscapeStore`;
+            :meth:`grid_search` then serves repeated requests from the
+            cache (see :meth:`cache_spec`).
     """
 
     def __init__(
@@ -117,46 +235,125 @@ class LandscapeGenerator:
         function: CostFunction,
         grid: ParameterGrid,
         batch_size: int | None = None,
+        workers: int = 1,
+        shard_points: int | None = None,
+        seed: int | None = None,
+        store: "LandscapeStore | None" = None,
     ):
         self.function = function
         self.grid = grid
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.batch_size = batch_size
+        self.workers = int(workers)
+        self.shard_points = shard_points
+        self.seed = None if seed is None else int(seed)
+        self.store = store
 
     def _resolved_batch_size(self) -> int:
-        if self.batch_size is not None:
-            return int(self.batch_size)
-        # Cost functions that fan each point out into several execution
-        # rows (batched ZNE: one row per noise scale) advertise the fold
-        # via ``rows_per_point``; shrink the per-chunk point count so
-        # the folded batch still fits the backend's cache budget.
-        rows = max(1, int(getattr(self.function, "rows_per_point", 1)))
-        capacity = default_batch_size(getattr(self.function, "num_qubits", None))
-        return max(1, capacity // rows)
+        return resolve_batch_size(self.function, self.batch_size)
+
+    def _sharded(self) -> bool:
+        """Whether evaluation routes through the sharded executor.
+
+        Any of the service knobs opts in: extra workers, an explicit
+        shard layout, or a root seed (which alone switches shot noise
+        to the worker-count-independent per-shard seeding scheme).
+        """
+        return (
+            self.workers > 1
+            or self.shard_points is not None
+            or self.seed is not None
+        )
+
+    def _executor(self):
+        from ..service.shards import ShardedExecutor
+
+        return ShardedExecutor(
+            workers=self.workers, shard_points=self.shard_points, seed=self.seed
+        )
 
     def evaluate_points(self, points: np.ndarray) -> np.ndarray:
         """Cost values for an ``(m, ndim)`` array of parameter vectors.
 
         Uses the cost function's vectorized ``many`` path in
-        ``batch_size``-point chunks when available, else loops.
+        ``batch_size``-point chunks when available, else loops; with the
+        service knobs set, points are fanned out across contiguous
+        shards first (see :class:`~repro.service.shards.ShardedExecutor`).
         """
         points = np.asarray(points, dtype=float)
         if points.shape[0] == 0:
             return np.empty(0)
-        many = getattr(self.function, "many", None)
-        if many is None:
-            return np.array([self.function(point) for point in points])
-        chunk = self._resolved_batch_size()
-        return np.concatenate(
-            [
-                np.asarray(many(points[start : start + chunk]), dtype=float)
-                for start in range(0, points.shape[0], chunk)
-            ]
+        if self._sharded():
+            return self._executor().run(
+                self.function, points, batch_size=self.batch_size
+            )
+        return evaluate_points_chunked(self.function, points, self.batch_size)
+
+    def cache_spec(self) -> "LandscapeSpec":
+        """The canonical spec :meth:`grid_search` is cached under.
+
+        Requires a cost function that describes its content via
+        ``cache_spec()`` (:class:`AnsatzCostFunction`,
+        :class:`~repro.mitigation.zne.ZneCostFunction`).  Shot-noise
+        landscapes additionally need ``seed=`` — their values depend on
+        the rng plan, which the spec records as ``(seed, shards)``;
+        exact landscapes are execution-plan independent and share one
+        key across worker counts and shard layouts.
+        """
+        from ..service.shards import plan_shards
+        from ..service.store import LandscapeSpec
+
+        describe = getattr(self.function, "cache_spec", None)
+        if describe is None:
+            raise TypeError(
+                f"{type(self.function).__name__} does not describe itself "
+                "for caching (no cache_spec method); the landscape store "
+                "needs a content description to derive a key"
+            )
+        shots = getattr(self.function, "shots", None)
+        execution = None
+        if shots is not None:
+            if self.seed is None:
+                raise ValueError(
+                    "caching a shot-noise landscape needs seed=: sampled "
+                    "values depend on the rng plan, which an unseeded "
+                    "generator cannot record in the cache key"
+                )
+            shards = plan_shards(self.grid.size, self.shard_points)
+            # The first shard's size canonically identifies the layout
+            # (given the grid size): per-shard generators depend on the
+            # shard *boundaries*, so two layouts with equal shard counts
+            # but different boundaries must not share a key, while
+            # equivalent oversized shard_points settings (one shard
+            # either way) should.
+            execution = {
+                "seed": self.seed,
+                "shard_points": shards[0].size if shards else 0,
+            }
+        return LandscapeSpec.from_parts(
+            describe(), self.grid, shots=shots, execution=execution
         )
 
     def grid_search(self, label: str = "ground-truth") -> Landscape:
-        """Dense evaluation of every grid point (the expensive baseline)."""
+        """Dense evaluation of every grid point (the expensive baseline).
+
+        With ``store=`` set, the store is consulted first: a hit is a
+        file load (relabelled to ``label``), a miss computes and
+        persists before returning.
+        """
+        if self.store is not None:
+            landscape = self.store.get_or_compute(
+                self.cache_spec(), lambda: self._grid_search(label)
+            )
+            if landscape.label != label:
+                landscape = replace(landscape, label=label)
+            return landscape
+        return self._grid_search(label)
+
+    def _grid_search(self, label: str) -> Landscape:
         points = self.grid.points_from_flat(np.arange(self.grid.size))
         values = self.evaluate_points(points)
         return Landscape(

@@ -95,8 +95,13 @@ class Landscape:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Serialise to ``.npz`` (values + axis definitions + metadata)."""
+        """Serialise to ``.npz`` (values + axis definitions + metadata).
+
+        Missing parent directories are created, so nested store/result
+        layouts save without ceremony.
+        """
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         axis_names = [axis.name for axis in self.grid.axes]
         axis_lows = [axis.low for axis in self.grid.axes]
         axis_highs = [axis.high for axis in self.grid.axes]

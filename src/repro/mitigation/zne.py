@@ -262,12 +262,14 @@ class ZneCostFunction:
         config: ZneConfig | None = None,
         shots: int | None = None,
         rng: np.random.Generator | None = None,
+        sampler: str = "parity",
     ):
         self.ansatz = ansatz
         self.noise = noise
         self.config = config or ZneConfig()
         self.shots = shots
         self.rng = rng
+        self.sampler = Ansatz.validate_sampler(sampler)
         self._scaled = [
             noise.scaled(scale) for scale in self.config.scale_factors
         ]
@@ -289,22 +291,62 @@ class ZneCostFunction:
         )
 
     def many(self, parameters_batch: np.ndarray) -> np.ndarray:
-        """ZNE-mitigated cost values for an ``(m, ndim)`` point batch."""
+        """ZNE-mitigated cost values for an ``(m, ndim)`` point batch.
+
+        Ansatzes with a scale-reuse fast path
+        (:meth:`~repro.ansatz.qaoa.QaoaAnsatz.expectation_many_scaled`)
+        simulate each point *once* and reuse the noise-scale-independent
+        ideal state across all scale factors — an ``S``-fold simulation
+        saving on the analytic-contraction engine.  Everything else
+        takes the generic fold: one ``expectation_many`` call on the
+        ``(m * S, ndim)`` row expansion with a per-row noise sequence.
+        Both orders are point-major / scale-minor, matching the serial
+        loop draw for draw.
+        """
         points = np.asarray(parameters_batch, dtype=float)
         if points.ndim == 1:
             points = points[None, :]
         num_points = points.shape[0]
         num_scales = len(self._scaled)
-        folded = np.repeat(points, num_scales, axis=0)
-        values = self.ansatz.expectation_many(
-            folded,
-            noise=self._scaled * num_points,
-            shots=self.shots,
-            rng=self.rng,
-        ).reshape(num_points, num_scales)
+        scaled_many = getattr(self.ansatz, "expectation_many_scaled", None)
+        if scaled_many is not None:
+            values = scaled_many(
+                points,
+                self._scaled,
+                shots=self.shots,
+                rng=self.rng,
+                sampler=self.sampler,
+            )
+        else:
+            folded = np.repeat(points, num_scales, axis=0)
+            values = self.ansatz.expectation_many(
+                folded,
+                noise=self._scaled * num_points,
+                shots=self.shots,
+                rng=self.rng,
+                sampler=self.sampler,
+            ).reshape(num_points, num_scales)
         return extrapolate_many(
             self.config.method, self.config.scale_factors, values
         )
+
+    def cache_spec(self) -> dict:
+        """Canonical content description for the landscape store."""
+        spec = {
+            "kind": "zne",
+            "ansatz": self.ansatz.cache_spec(),
+            "noise": self.noise.cache_spec(),
+            "shots": self.shots,
+            "mitigation": {
+                "method": self.config.method,
+                "scale_factors": [
+                    float(scale) for scale in self.config.scale_factors
+                ],
+            },
+        }
+        if self.shots is not None:
+            spec["sampler"] = self.sampler
+        return spec
 
 
 def zne_cost_function(
@@ -313,6 +355,7 @@ def zne_cost_function(
     config: ZneConfig | None = None,
     shots: int | None = None,
     rng: np.random.Generator | None = None,
+    sampler: str = "parity",
 ) -> ZneCostFunction:
     """A batch-capable cost callable with ZNE applied at every query.
 
@@ -321,4 +364,6 @@ def zne_cost_function(
     landscapes are produced by the same grid/OSCAR machinery — batched
     chunks included (see :class:`ZneCostFunction`).
     """
-    return ZneCostFunction(ansatz, noise, config, shots=shots, rng=rng)
+    return ZneCostFunction(
+        ansatz, noise, config, shots=shots, rng=rng, sampler=sampler
+    )

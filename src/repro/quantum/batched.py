@@ -317,10 +317,17 @@ class BatchedStatevector:
         return np.real(np.einsum("bi,bi->b", np.conj(self._data), transformed))
 
     def _multinomial_counts(
-        self, shots: int, rng: np.random.Generator
+        self, shots: int, rng: np.random.Generator, repeats: int = 1
     ) -> np.ndarray:
-        """``(B, 2**n)`` outcome counts from one vectorized multinomial."""
+        """``(B * repeats, 2**n)`` counts from one vectorized multinomial.
+
+        ``repeats > 1`` tiles each row's distribution that many times
+        (row-major) before the single draw — the shape the ZNE fast
+        path needs to sample one state once per noise scale.
+        """
         probabilities = self.probabilities()
+        if repeats > 1:
+            probabilities = np.repeat(probabilities, repeats, axis=0)
         totals = probabilities.sum(axis=1)
         if not np.allclose(totals, 1.0, rtol=0.0, atol=1e-9):
             probabilities = np.clip(probabilities, 0.0, None)

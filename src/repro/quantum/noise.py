@@ -137,6 +137,20 @@ class NoiseModel:
             return self.p2
         raise ValueError(f"unsupported gate arity {arity}")
 
+    def cache_spec(self) -> dict:
+        """Canonical content payload for the landscape store.
+
+        The single source of the ``{p1, p2, readout}`` serialization —
+        every cost function's ``cache_spec`` delegates here so noise
+        content always hashes identically (``seed_tag`` is a display
+        label, not content).
+        """
+        return {
+            "p1": float(self.p1),
+            "p2": float(self.p2),
+            "readout": float(self.readout),
+        }
+
     def scaled(self, factor: float) -> "NoiseModel":
         """Noise model with all error rates multiplied by ``factor``.
 

@@ -1,0 +1,31 @@
+"""Landscape service layer: sharded execution + a content-addressed store.
+
+The library below this package is a fast single-process engine; this
+package is the first step toward a system that serves repeated traffic:
+
+- :mod:`repro.service.store` — a content-addressed on-disk cache of
+  generated landscapes, keyed by a canonical :class:`LandscapeSpec`
+  (ansatz/problem content, grid, noise, shots, mitigation, rng plan),
+  with LRU eviction and an index listing;
+- :mod:`repro.service.shards` — a :class:`ShardedExecutor` that splits
+  a grid into contiguous shards and fans them out across a
+  ``multiprocessing`` pool, with `SeedSequence.spawn`-style per-shard
+  seeding so shot-noise results are bit-identical for any worker count.
+
+Both wire into :class:`repro.landscape.generator.LandscapeGenerator`
+through its ``workers=``, ``shard_points=``, ``seed=`` and ``store=``
+knobs; see ``README.md`` in this directory for the store layout and the
+reproducibility contract.
+"""
+
+from .shards import Shard, ShardedExecutor, plan_shards
+from .store import LandscapeSpec, LandscapeStore, StoreEntry
+
+__all__ = [
+    "Shard",
+    "ShardedExecutor",
+    "plan_shards",
+    "LandscapeSpec",
+    "LandscapeStore",
+    "StoreEntry",
+]

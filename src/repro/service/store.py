@@ -1,0 +1,405 @@
+"""Content-addressed on-disk landscape store.
+
+A generated :class:`~repro.landscape.landscape.Landscape` is a pure
+function of *what* was executed: the ansatz and problem content, the
+grid, the noise model, the shot budget and mitigation config, and — for
+shot-noise landscapes — the rng plan (root seed + shard layout).
+:class:`LandscapeSpec` captures exactly that as a canonical, JSON-able
+payload; its deterministic serialization is hashed into the cache key,
+so two processes that describe the same experiment derive the same key
+and share the same artifact.
+
+Store layout (one directory, two files per entry)::
+
+    <root>/
+        <key>.npz    # Landscape.save payload (values + axes + metadata)
+        <key>.json   # manifest: spec payload, label, sizes, access stamp
+
+The manifest keeps the full spec next to the payload so entries are
+self-describing (``oscar-repro cache list`` prints them).  Eviction is
+LRU over a byte budget: every read bumps a monotonically increasing
+access stamp (persisted in the manifest, so recency survives process
+restarts), and :meth:`LandscapeStore.put` drops the least recently used
+entries until the store fits ``max_bytes`` again.  The entry being
+written is exempt, so a single landscape larger than the budget still
+caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from ..landscape.grid import ParameterGrid
+from ..landscape.landscape import Landscape
+
+__all__ = ["LandscapeSpec", "LandscapeStore", "StoreEntry"]
+
+#: Hex characters of the sha256 digest used as the cache key (128 bits:
+#: collision-safe for any realistic store size, short enough for ls).
+_KEY_HEX = 32
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize a spec payload fragment for deterministic hashing.
+
+    Numbers are canonicalized (bools stay bools, integral floats stay
+    floats — ``2.0`` and ``2`` are *different* content), sequences become
+    lists, mappings keep string keys.  Anything else is rejected so a
+    non-serializable object can never silently weaken the cache key.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, Mapping):
+        out = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(f"spec mapping keys must be str, got {key!r}")
+            out[key] = _canonical(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    # numpy scalars quack like their python twins.
+    if hasattr(value, "item"):
+        return _canonical(value.item())
+    raise TypeError(f"spec payloads must be JSON-able, got {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class LandscapeSpec:
+    """Canonical description of one landscape-generation request.
+
+    Attributes:
+        ansatz: content description of the bound cost function — ansatz
+            class, structural parameters, and the full problem content
+            (couplings / Pauli terms), as produced by
+            :meth:`repro.ansatz.base.Ansatz.cache_spec`.  For mitigated
+            cost functions this nests the mitigation config too (see
+            ``ZneCostFunction.cache_spec``).
+        grid: one ``{name, low, high, num_points}`` mapping per axis.
+        shots: per-query measurement shots (``None`` = exact).
+        execution: the rng plan for shot-noise landscapes —
+            ``{"seed": int, "shard_points": int}`` (the effective shard
+            layout) — because sampled values depend on it.  ``None``
+            for exact landscapes, whose values
+            are execution-plan independent (the same key is shared by
+            any worker count or shard layout).
+    """
+
+    ansatz: Mapping[str, Any]
+    grid: tuple[Mapping[str, Any], ...]
+    shots: int | None = None
+    execution: Mapping[str, Any] | None = None
+
+    @classmethod
+    def from_parts(
+        cls,
+        function_spec: Mapping[str, Any],
+        grid: ParameterGrid,
+        shots: int | None = None,
+        execution: Mapping[str, Any] | None = None,
+    ) -> "LandscapeSpec":
+        """Assemble a spec from a cost-function description and a grid."""
+        axes = tuple(
+            {
+                "name": axis.name,
+                "low": float(axis.low),
+                "high": float(axis.high),
+                "num_points": int(axis.num_points),
+            }
+            for axis in grid.axes
+        )
+        return cls(
+            ansatz=dict(function_spec),
+            grid=axes,
+            shots=None if shots is None else int(shots),
+            execution=None if execution is None else dict(execution),
+        )
+
+    def payload(self) -> dict[str, Any]:
+        """The canonical nested payload (what gets serialized + hashed)."""
+        return _canonical(
+            {
+                "ansatz": self.ansatz,
+                "grid": list(self.grid),
+                "shots": self.shots,
+                "execution": self.execution,
+            }
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization: sorted keys, no whitespace.
+
+        ``json.dumps`` with ``sort_keys`` is stable across processes and
+        platforms (float repr is exact shortest-roundtrip in Python 3),
+        which is what makes the derived key content-addressed rather
+        than process-addressed.
+        """
+        return json.dumps(
+            self.payload(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+
+    def key(self) -> str:
+        """The content-addressed cache key (truncated sha256 hex)."""
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:_KEY_HEX]
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One cached landscape as listed by :meth:`LandscapeStore.entries`."""
+
+    key: str
+    label: str
+    payload_bytes: int
+    access: int
+    created: float
+    spec_payload: Mapping[str, Any]
+    path: Path
+
+
+class LandscapeStore:
+    """Size-bounded, content-addressed cache of generated landscapes.
+
+    Args:
+        root: directory holding the payloads and manifests (created on
+            first use, parents included).
+        max_bytes: LRU byte budget over the ``.npz`` payloads; ``None``
+            means unbounded.
+
+    The instance counts :attr:`hits` and :attr:`misses` across
+    :meth:`get_or_compute` calls so callers (benchmarks, the CLI) can
+    report cache effectiveness.
+    """
+
+    def __init__(self, root: str | Path, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+
+    # -- key/path plumbing -------------------------------------------------
+
+    @staticmethod
+    def key_for(spec: LandscapeSpec) -> str:
+        """The cache key a spec resolves to."""
+        return spec.key()
+
+    def _payload_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def _manifest_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    @staticmethod
+    def _resolve_key(spec_or_key: LandscapeSpec | str) -> str:
+        if isinstance(spec_or_key, LandscapeSpec):
+            return spec_or_key.key()
+        return str(spec_or_key)
+
+    def _read_manifest(self, path: Path) -> dict[str, Any] | None:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _write_atomic(self, path: Path, writer: Callable[[Path], None]) -> None:
+        """Write through a same-suffix temp file + ``os.replace``.
+
+        Readers race writers in a shared store; rename is atomic on
+        POSIX, so they see either the old or the new artifact, never a
+        truncated one.  The temp name keeps the real suffix because
+        ``np.savez`` appends ``.npz`` to anything else.
+        """
+        temp = path.with_name(f"{path.stem}.tmp-{os.getpid()}{path.suffix}")
+        try:
+            writer(temp)
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
+
+    def _next_access_stamp(self) -> int:
+        """Monotone LRU stamp from an O(1) counter file.
+
+        The read-modify-write runs under an advisory ``flock`` on a
+        sidecar lock file where the platform provides one, so
+        concurrent processes never hand out duplicate stamps (which
+        would let eviction's tie-break drop a just-read entry).  Falls
+        back to a manifest scan when the counter is missing or damaged
+        (hand-pruned store), so recency never resets to zero.
+        """
+        counter_path = self.root / "_counter.json"
+
+        def bump() -> int:
+            try:
+                stamp = int(json.loads(counter_path.read_text())["next"])
+            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+                stamps = [entry.access for entry in self.entries()]
+                stamp = (max(stamps) + 1) if stamps else 1
+            self._write_atomic(
+                counter_path,
+                lambda path: path.write_text(json.dumps({"next": stamp + 1})),
+            )
+            return stamp
+
+        try:
+            import fcntl
+        except ImportError:  # non-POSIX: unlocked last-writer-wins
+            return bump()
+        with open(self.root / "_counter.lock", "a+") as lock_file:
+            fcntl.flock(lock_file, fcntl.LOCK_EX)
+            try:
+                return bump()
+            finally:
+                fcntl.flock(lock_file, fcntl.LOCK_UN)
+
+    # -- core operations ---------------------------------------------------
+
+    def contains(self, spec_or_key: LandscapeSpec | str) -> bool:
+        """Whether both payload and manifest exist for the key."""
+        key = self._resolve_key(spec_or_key)
+        return self._payload_path(key).exists() and self._manifest_path(key).exists()
+
+    def get(self, spec_or_key: LandscapeSpec | str) -> Landscape | None:
+        """Load a cached landscape (bumping its LRU stamp), or ``None``.
+
+        Any read failure — a concurrent writer or eviction racing this
+        load, a damaged payload — degrades to a cache miss rather than
+        an exception, so the caller simply recomputes.
+        """
+        key = self._resolve_key(spec_or_key)
+        if not self.contains(key):
+            return None
+        manifest = self._read_manifest(self._manifest_path(key))
+        if manifest is None:
+            return None
+        try:
+            landscape = Landscape.load(self._payload_path(key))
+        except Exception:
+            return None
+        manifest["access"] = self._next_access_stamp()
+        self._write_atomic(
+            self._manifest_path(key),
+            lambda path: path.write_text(json.dumps(manifest, indent=1)),
+        )
+        return landscape
+
+    def put(self, spec: LandscapeSpec, landscape: Landscape) -> str:
+        """Cache a landscape under its spec's key; returns the key.
+
+        Payload and manifest are written atomically (temp + rename), so
+        concurrent readers never observe a truncated artifact.  Evicts
+        least-recently-used entries afterwards if the store exceeds
+        ``max_bytes`` (the entry just written is exempt).
+        """
+        key = spec.key()
+        payload_path = self._payload_path(key)
+        self._write_atomic(payload_path, landscape.save)
+        manifest = {
+            "key": key,
+            "spec": spec.payload(),
+            "label": landscape.label,
+            "circuit_executions": int(landscape.circuit_executions),
+            "payload_bytes": payload_path.stat().st_size,
+            "access": self._next_access_stamp(),
+            "created": time.time(),
+        }
+        self._write_atomic(
+            self._manifest_path(key),
+            lambda path: path.write_text(json.dumps(manifest, indent=1)),
+        )
+        self._evict(exempt=key)
+        return key
+
+    def get_or_compute(
+        self, spec: LandscapeSpec, compute: Callable[[], Landscape]
+    ) -> Landscape:
+        """The service path: return the cached landscape or compute+cache.
+
+        ``compute`` is only invoked on a miss; its result is persisted
+        before being returned, so the next identical spec is a pure
+        file load.
+        """
+        cached = self.get(spec)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        landscape = compute()
+        self.put(spec, landscape)
+        return landscape
+
+    # -- maintenance -------------------------------------------------------
+
+    def invalidate(self, spec_or_key: LandscapeSpec | str) -> bool:
+        """Drop one entry; returns whether anything was removed."""
+        key = self._resolve_key(spec_or_key)
+        removed = False
+        for path in (self._payload_path(key), self._manifest_path(key)):
+            if path.exists():
+                path.unlink()
+                removed = True
+        return removed
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        keys = [entry.key for entry in self.entries()]
+        for key in keys:
+            self.invalidate(key)
+        return len(keys)
+
+    def entries(self) -> list[StoreEntry]:
+        """All cached entries, least recently used first."""
+        out = []
+        for manifest_path in sorted(self.root.glob("*.json")):
+            if ".tmp-" in manifest_path.name or manifest_path.name.startswith("_"):
+                continue  # in-flight writes and the access counter
+            manifest = self._read_manifest(manifest_path)
+            if manifest is None or "key" not in manifest:
+                continue
+            key = str(manifest["key"])
+            payload_path = self._payload_path(key)
+            if not payload_path.exists():
+                continue
+            out.append(
+                StoreEntry(
+                    key=key,
+                    label=str(manifest.get("label", "")),
+                    payload_bytes=int(manifest.get("payload_bytes", 0)),
+                    access=int(manifest.get("access", 0)),
+                    created=float(manifest.get("created", 0.0)),
+                    spec_payload=manifest.get("spec", {}),
+                    path=payload_path,
+                )
+            )
+        out.sort(key=lambda entry: entry.access)
+        return out
+
+    def total_bytes(self) -> int:
+        """Total payload bytes currently cached."""
+        return sum(entry.payload_bytes for entry in self.entries())
+
+    def _evict(self, exempt: str) -> None:
+        if self.max_bytes is None:
+            return
+        entries = self.entries()
+        total = sum(entry.payload_bytes for entry in entries)
+        for entry in entries:  # least recently used first
+            if total <= self.max_bytes:
+                break
+            if entry.key == exempt:
+                continue
+            self.invalidate(entry.key)
+            total -= entry.payload_bytes

@@ -87,11 +87,35 @@ def batched_engine(
     return ansatz.expectation_many(batch, noise=noise, shots=shots, rng=rng)
 
 
+def sharded_engine(
+    ansatz: Ansatz,
+    batch: np.ndarray,
+    noise=None,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """The sharded executor in parity mode (workers=1, tiny shards).
+
+    Two-row shards force every batch through a genuine split + merge,
+    and sequential in-process execution threads the caller's ``rng``
+    through the shards in order — which must consume the stream exactly
+    as the unsharded engines do (the block-draw contract).  Multiprocess
+    spawn-mode seeding intentionally trades this parity for worker-count
+    independence and is pinned separately in
+    ``tests/test_service_shards.py``.
+    """
+    from repro.service.shards import ShardedExecutor
+
+    executor = ShardedExecutor(workers=1, shard_points=2)
+    return executor.run_ansatz(ansatz, batch, noise=noise, shots=shots, rng=rng)
+
+
 #: Engine registry: name -> evaluation function.  ``REFERENCE_ENGINE``
 #: is what every other entry is pinned against.
 ENGINES: dict[str, EngineFn] = {
     "serial": serial_engine,
     "batched": batched_engine,
+    "sharded": sharded_engine,
 }
 REFERENCE_ENGINE = "serial"
 

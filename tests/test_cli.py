@@ -135,3 +135,59 @@ def test_analyze_command(capsys):
     assert "barren-plateau fraction" in output
     assert "local minima" in output
     assert "symmetry error" in output
+
+
+def test_reconstruct_command_with_workers(capsys):
+    code = main(
+        [
+            "reconstruct",
+            "--qubits", "6",
+            "--resolution", "10", "20",
+            "--fraction", "0.15",
+            "--workers", "2",
+        ]
+    )
+    assert code == 0
+    assert "NRMSE" in capsys.readouterr().out
+
+
+def test_reconstruct_command_with_cache_dir(capsys, tmp_path):
+    args = [
+        "reconstruct",
+        "--qubits", "6",
+        "--resolution", "10", "20",
+        "--fraction", "0.15",
+        "--cache-dir", str(tmp_path / "store"),
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0  # second run served from the store
+    second = capsys.readouterr().out
+    # Identical exact landscapes -> identical reported NRMSE lines.
+    assert [l for l in first.splitlines() if "NRMSE" in l] == [
+        l for l in second.splitlines() if "NRMSE" in l
+    ]
+
+
+def test_cache_list_and_clear_commands(capsys, tmp_path):
+    store_dir = str(tmp_path / "store")
+    assert main(["cache", "list", "--cache-dir", store_dir]) == 0
+    assert "no cached landscapes" in capsys.readouterr().out
+    main(
+        [
+            "reconstruct",
+            "--qubits", "6",
+            "--resolution", "10", "20",
+            "--fraction", "0.15",
+            "--cache-dir", store_dir,
+        ]
+    )
+    capsys.readouterr()
+    assert main(["cache", "list", "--cache-dir", store_dir]) == 0
+    listing = capsys.readouterr().out
+    assert "1 cached landscape(s)" in listing
+    assert "grid-search" in listing
+    assert main(["cache", "clear", "--cache-dir", store_dir]) == 0
+    assert "cleared 1" in capsys.readouterr().out
+    assert main(["cache", "list", "--cache-dir", store_dir]) == 0
+    assert "no cached landscapes" in capsys.readouterr().out

@@ -68,6 +68,21 @@ def test_save_load_roundtrip(landscape, tmp_path):
         assert original.high == pytest.approx(restored.high)
 
 
+def test_save_creates_missing_parent_directories(landscape, tmp_path):
+    """Nested store/result layouts save without pre-creating dirs, and
+    the round trip through the nested path preserves all metadata."""
+    path = tmp_path / "store" / "deeply" / "nested" / "landscape.npz"
+    assert not path.parent.exists()
+    landscape.save(path)
+    loaded = Landscape.load(path)
+    np.testing.assert_array_equal(loaded.values, landscape.values)
+    assert loaded.label == landscape.label
+    assert loaded.circuit_executions == landscape.circuit_executions
+    assert [axis.name for axis in loaded.grid.axes] == [
+        axis.name for axis in landscape.grid.axes
+    ]
+
+
 def test_with_values(landscape):
     other = landscape.with_values(np.zeros_like(landscape.values), label="zeros")
     assert other.label == "zeros"

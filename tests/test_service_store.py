@@ -1,0 +1,324 @@
+"""The content-addressed landscape store: keys, caching, LRU eviction."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ansatz import QaoaAnsatz, TwoLocalAnsatz, UccsdAnsatz
+from repro.landscape import (
+    GridAxis,
+    Landscape,
+    LandscapeGenerator,
+    ParameterGrid,
+    cost_function,
+    qaoa_grid,
+)
+from repro.mitigation import ZneConfig, zne_cost_function
+from repro.problems import random_3_regular_maxcut, sk_problem
+from repro.problems.chemistry import h2_hamiltonian
+from repro.quantum import NoiseModel
+from repro.service import LandscapeSpec, LandscapeStore
+
+
+@pytest.fixture
+def qaoa():
+    return QaoaAnsatz(random_3_regular_maxcut(6, seed=0), p=1)
+
+
+@pytest.fixture
+def grid():
+    return qaoa_grid(p=1, resolution=(6, 10))
+
+
+def _spec(qaoa, grid, **kwargs):
+    return LandscapeGenerator(
+        cost_function(qaoa, **kwargs.pop("function_kwargs", {})),
+        grid,
+        **kwargs,
+    ).cache_spec()
+
+
+# -- cache-key stability -------------------------------------------------------
+
+
+def test_same_spec_same_key(qaoa, grid):
+    """Two independently built identical requests share one key."""
+    other = QaoaAnsatz(random_3_regular_maxcut(6, seed=0), p=1)
+    assert _spec(qaoa, grid).key() == _spec(other, grid).key()
+
+
+def test_key_is_stable_across_processes(qaoa, grid):
+    """The canonical serialization hashes identically in a fresh
+    interpreter (no dependence on PYTHONHASHSEED or object identity)."""
+    script = (
+        "from repro.ansatz import QaoaAnsatz\n"
+        "from repro.landscape import LandscapeGenerator, cost_function, qaoa_grid\n"
+        "from repro.problems import random_3_regular_maxcut\n"
+        "ansatz = QaoaAnsatz(random_3_regular_maxcut(6, seed=0), p=1)\n"
+        "grid = qaoa_grid(p=1, resolution=(6, 10))\n"
+        "print(LandscapeGenerator(cost_function(ansatz), grid).cache_spec().key())\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    env["PYTHONHASHSEED"] = "271828"  # a hash seed the parent never uses
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert result.stdout.strip() == _spec(qaoa, grid).key()
+
+
+def test_any_field_change_changes_key(qaoa, grid):
+    """Every spec ingredient participates in the key."""
+    base = _spec(qaoa, grid).key()
+    variants = [
+        # problem content
+        _spec(QaoaAnsatz(random_3_regular_maxcut(6, seed=1), p=1), grid),
+        _spec(QaoaAnsatz(sk_problem(6, seed=0), p=1), grid),
+        # ansatz structure
+        _spec(QaoaAnsatz(random_3_regular_maxcut(6, seed=0), p=2), grid),
+        # grid resolution and bounds
+        _spec(qaoa, qaoa_grid(p=1, resolution=(6, 11))),
+        _spec(qaoa, qaoa_grid(p=1, resolution=(6, 10), beta_range=(-1.0, 1.0))),
+        # noise model
+        _spec(qaoa, grid, function_kwargs={"noise": NoiseModel(p1=0.001)}),
+        # shots (+ required seed) and the seed itself
+        _spec(qaoa, grid, function_kwargs={"shots": 32}, seed=0),
+        _spec(qaoa, grid, function_kwargs={"shots": 32}, seed=1),
+        _spec(qaoa, grid, function_kwargs={"shots": 64}, seed=0),
+    ]
+    keys = [spec.key() for spec in variants]
+    assert base not in keys
+    assert len(set(keys)) == len(keys)
+
+
+def test_mitigation_config_changes_key(qaoa, grid):
+    noise = NoiseModel(p1=0.003, p2=0.008)
+    keys = set()
+    for config in (
+        None,  # unmitigated
+        ZneConfig((1.0, 2.0, 3.0), "richardson"),
+        ZneConfig((1.0, 3.0), "richardson"),
+        ZneConfig((1.0, 2.0, 3.0), "linear"),
+    ):
+        function = (
+            cost_function(qaoa, noise=noise)
+            if config is None
+            else zne_cost_function(qaoa, noise, config)
+        )
+        keys.add(LandscapeGenerator(function, grid).cache_spec().key())
+    assert len(keys) == 4
+
+
+def test_shot_noise_key_distinguishes_equal_shard_counts(qaoa):
+    """The rng plan in the key must capture the shard *layout*, not
+    just the shard count: on a 77-point grid, shard_points 26 and 30
+    both make 3 shards but put the boundaries elsewhere, so their
+    per-shard draws (and landscapes) differ — colliding keys would
+    serve the wrong landscape."""
+    grid = qaoa_grid(p=1, resolution=(7, 11))  # 77 points
+
+    def key(shard_points):
+        return _spec(
+            qaoa,
+            grid,
+            function_kwargs={"shots": 32},
+            seed=0,
+            shard_points=shard_points,
+        ).key()
+
+    assert key(26) != key(30)
+    # Equivalent oversized settings produce the same single-shard plan
+    # hence the same draws — and must share one key.
+    assert key(100) == key(200)
+
+
+def test_exact_key_independent_of_execution_plan(qaoa, grid):
+    """Exact landscapes are execution-plan independent: worker count and
+    shard layout must not fragment the cache."""
+    base = LandscapeGenerator(cost_function(qaoa), grid).cache_spec().key()
+    sharded = (
+        LandscapeGenerator(cost_function(qaoa), grid, workers=4, shard_points=7)
+        .cache_spec()
+        .key()
+    )
+    assert base == sharded
+
+
+def test_all_ansatzes_describe_themselves(grid):
+    """Every shipped ansatz yields a JSON-able canonical payload."""
+    h2 = h2_hamiltonian()
+    for ansatz in (
+        QaoaAnsatz(random_3_regular_maxcut(6, seed=0), p=1),
+        TwoLocalAnsatz(sk_problem(4, seed=2).to_pauli_sum(), reps=1),
+        TwoLocalAnsatz(h2, reps=1),
+        UccsdAnsatz(h2, num_parameters=3),
+    ):
+        payload = ansatz.cache_spec()
+        json.dumps(payload)  # must serialize
+        assert payload["type"] in ("qaoa", "twolocal", "uccsd")
+
+
+def test_custom_ansatz_without_spec_is_rejected(grid):
+    """Cost functions that cannot describe their content must fail
+    loudly instead of producing a colliding key."""
+
+    def opaque(point):
+        return 0.0
+
+    with pytest.raises(TypeError):
+        LandscapeGenerator(opaque, grid).cache_spec()
+
+
+def test_shot_noise_caching_requires_seed(qaoa, grid, tmp_path):
+    generator = LandscapeGenerator(
+        cost_function(qaoa, shots=16, rng=np.random.default_rng(0)),
+        grid,
+        store=LandscapeStore(tmp_path),
+    )
+    with pytest.raises(ValueError, match="seed"):
+        generator.grid_search()
+
+
+# -- get_or_compute / invalidation --------------------------------------------
+
+
+def test_get_or_compute_hits_without_recompute(qaoa, grid, tmp_path):
+    store = LandscapeStore(tmp_path)
+    calls = {"n": 0}
+    function = cost_function(qaoa)
+
+    class Counting:
+        """Wraps the cost function to count dense evaluations."""
+
+        def __init__(self, inner):
+            self.inner = inner
+
+        def __call__(self, point):
+            calls["n"] += 1
+            return self.inner(point)
+
+        def many(self, points):
+            calls["n"] += len(points)
+            return self.inner.many(points)
+
+        def cache_spec(self):
+            return self.inner.cache_spec()
+
+        @property
+        def num_qubits(self):
+            return self.inner.num_qubits
+
+        @property
+        def shots(self):
+            return self.inner.shots
+
+    counting = Counting(function)
+    gen = LandscapeGenerator(counting, grid, store=store)
+    first = gen.grid_search(label="truth")
+    assert calls["n"] == grid.size
+    assert store.misses == 1 and store.hits == 0
+    second = gen.grid_search(label="truth")
+    assert calls["n"] == grid.size  # no recompute on the hit
+    assert store.misses == 1 and store.hits == 1
+    np.testing.assert_array_equal(first.values, second.values)
+    assert second.label == "truth"
+    assert second.circuit_executions == grid.size
+
+
+def test_landscapes_round_trip_through_store(qaoa, grid, tmp_path):
+    """A cache hit preserves values bit-for-bit plus all metadata."""
+    store = LandscapeStore(tmp_path)
+    gen = LandscapeGenerator(cost_function(qaoa), grid, store=store)
+    computed = gen.grid_search(label="served")
+    served = gen.grid_search(label="served")
+    np.testing.assert_array_equal(computed.values, served.values)
+    assert served.grid.shape == grid.shape
+    assert [axis.name for axis in served.grid.axes] == [
+        axis.name for axis in grid.axes
+    ]
+
+
+def test_invalidate_and_clear(qaoa, grid, tmp_path):
+    store = LandscapeStore(tmp_path)
+    gen = LandscapeGenerator(cost_function(qaoa), grid, store=store)
+    gen.grid_search()
+    spec = gen.cache_spec()
+    assert store.contains(spec)
+    assert store.invalidate(spec)
+    assert not store.contains(spec)
+    assert not store.invalidate(spec)  # already gone
+    gen.grid_search()
+    assert store.clear() == 1
+    assert store.entries() == []
+
+
+# -- LRU eviction --------------------------------------------------------------
+
+
+def _tiny_landscape(seed: int) -> tuple[LandscapeSpec, Landscape]:
+    grid = ParameterGrid(
+        [GridAxis("a", 0.0, 1.0, 4), GridAxis("b", 0.0, 1.0, 4)]
+    )
+    values = np.random.default_rng(seed).normal(size=grid.shape)
+    spec = LandscapeSpec(
+        ansatz={"type": "synthetic", "seed": seed},
+        grid=(
+            {"name": "a", "low": 0.0, "high": 1.0, "num_points": 4},
+            {"name": "b", "low": 0.0, "high": 1.0, "num_points": 4},
+        ),
+    )
+    return spec, Landscape(grid, values, label=f"tiny-{seed}")
+
+
+def test_lru_eviction_is_size_bounded_and_recency_aware(tmp_path):
+    store = LandscapeStore(tmp_path)
+    specs = []
+    sizes = []
+    for seed in range(3):
+        spec, landscape = _tiny_landscape(seed)
+        store.put(spec, landscape)
+        specs.append(spec)
+        sizes.append(store.entries()[-1].payload_bytes)
+    # Rebound the budget to fit ~3 entries, touch entry 0 so entry 1
+    # becomes the least recently used, then insert a fourth.
+    store.max_bytes = sum(sizes) + sizes[0] // 2
+    assert store.get(specs[0]) is not None
+    spec3, landscape3 = _tiny_landscape(3)
+    store.put(spec3, landscape3)
+    keys = {entry.key for entry in store.entries()}
+    assert specs[1].key() not in keys, "LRU entry should be evicted"
+    assert specs[0].key() in keys, "recently read entry must survive"
+    assert spec3.key() in keys, "the entry just written is exempt"
+    assert store.total_bytes() <= store.max_bytes
+
+
+def test_oversized_entry_still_caches(tmp_path):
+    """A single landscape larger than the budget is written anyway
+    (the just-written entry is exempt from eviction)."""
+    store = LandscapeStore(tmp_path, max_bytes=1)
+    spec, landscape = _tiny_landscape(0)
+    store.put(spec, landscape)
+    assert store.contains(spec)
+
+
+def test_entries_listing_orders_by_recency(tmp_path):
+    store = LandscapeStore(tmp_path)
+    pairs = [_tiny_landscape(seed) for seed in range(3)]
+    for spec, landscape in pairs:
+        store.put(spec, landscape)
+    store.get(pairs[0][0])  # most recent
+    ordered = [entry.key for entry in store.entries()]
+    assert ordered[-1] == pairs[0][0].key()
+    assert ordered[0] == pairs[1][0].key()

@@ -179,3 +179,51 @@ def test_zne_cost_function_is_plain_callable():
     function = zne_cost_function(ansatz, noise)
     value = function(np.array([0.1, 0.2]))
     assert np.isfinite(value)
+
+
+def test_zne_many_simulates_each_point_once_on_the_qaoa_fast_path():
+    """The analytic-contraction fast path reuses the scale-independent
+    ideal state: one ``statevector_many`` pass over the points, instead
+    of one per (point, scale) via the folded batch."""
+    problem = random_3_regular_maxcut(4, seed=3)
+    ansatz = QaoaAnsatz(problem, p=1)
+    noise = NoiseModel(p1=0.001, p2=0.01)
+    config = ZneConfig((1.0, 2.0, 3.0), "richardson")
+    function = zne_cost_function(ansatz, noise, config)
+    points = np.random.default_rng(0).uniform(-np.pi, np.pi, (9, 2))
+
+    simulated_rows = []
+    original = QaoaAnsatz.statevector_many
+
+    def counting(self, batch):
+        state = original(self, batch)
+        simulated_rows.append(np.asarray(batch).shape[0])
+        return state
+
+    QaoaAnsatz.statevector_many = counting
+    try:
+        mitigated = function.many(points)
+    finally:
+        QaoaAnsatz.statevector_many = original
+    assert sum(simulated_rows) == points.shape[0], (
+        "fast path must simulate each point exactly once, not once per "
+        "noise scale"
+    )
+    # And it must agree with the serial per-(point, scale) loop.
+    serial = np.array([function(point) for point in points])
+    np.testing.assert_allclose(mitigated, serial, rtol=0.0, atol=1e-10)
+
+
+def test_zne_many_matches_folded_path_for_non_qaoa_ansatzes():
+    """Ansatzes without the scale-reuse hook still take the generic
+    fold and stay pinned to the serial loop."""
+    from repro.ansatz import TwoLocalAnsatz
+    from repro.problems import sk_problem
+
+    ansatz = TwoLocalAnsatz(sk_problem(3, seed=1).to_pauli_sum(), reps=1)
+    assert not hasattr(ansatz, "expectation_many_scaled")
+    noise = NoiseModel(p1=0.002, p2=0.004)
+    function = zne_cost_function(ansatz, noise, ZneConfig((1.0, 3.0), "linear"))
+    points = np.random.default_rng(2).uniform(-np.pi, np.pi, (4, 6))
+    serial = np.array([function(point) for point in points])
+    np.testing.assert_allclose(function.many(points), serial, rtol=0.0, atol=1e-10)
