@@ -9,7 +9,11 @@ code:
 - ``oscar-repro speedup`` — run the headline speedup measurement;
 - ``oscar-repro sparsity`` — print DCT sparsity for a problem family;
 - ``oscar-repro batch`` — reconstruct a whole sampling-fraction sweep
-  in one batched engine pass (optionally timed against the serial loop).
+  in one batched engine pass (optionally timed against the serial loop);
+- ``oscar-repro serve`` — run the landscape daemon (persistent worker
+  pool + shared cache behind a Unix socket); ``--daemon`` on the other
+  commands routes their landscape generation through it;
+- ``oscar-repro cache`` — list, clear or summarize a landscape store.
 """
 
 from __future__ import annotations
@@ -71,6 +75,16 @@ def build_parser() -> argparse.ArgumentParser:
             "switches execution to the seeded per-shard rng plan "
             "(reproducible for any worker count, but a different draw "
             "order than the default single-process path)",
+        )
+        command.add_argument(
+            "--daemon",
+            default=None,
+            metavar="SOCKET",
+            help="route landscape generation through the daemon on this "
+            "Unix socket (see `oscar-repro serve`): shared persistent "
+            "pool, shared cache, concurrent identical requests computed "
+            "once.  Falls back to in-process execution when no daemon "
+            "is listening",
         )
 
     recon = sub.add_parser("reconstruct", help="reconstruct a QAOA landscape")
@@ -140,12 +154,59 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--seed", type=int, default=0)
     add_batch_size(analyze)
 
-    cache = sub.add_parser(
-        "cache", help="inspect or clear a landscape store directory"
+    serve = sub.add_parser(
+        "serve",
+        help="run the landscape daemon (persistent pool + shared cache "
+        "on a Unix socket)",
     )
-    cache.add_argument("action", choices=("list", "clear"))
+    serve.add_argument(
+        "--socket",
+        default=None,
+        help="Unix-socket path to bind (default: oscar-repro.sock in "
+        "the working directory)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="persistent worker-pool size (forked once at startup; "
+        "default: 1, in-process)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="landscape store directory shared by every client "
+        "(default: no cache — requests still dedup in flight)",
+    )
+    serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="LRU byte budget for the store (default: unbounded)",
+    )
+    serve.add_argument(
+        "--shard-points",
+        type=int,
+        default=None,
+        help="default points per shard for requests that do not set "
+        "their own (default: automatic, worker-count independent)",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect, summarize or clear a landscape store"
+    )
+    cache.add_argument("action", choices=("list", "clear", "stats"))
     cache.add_argument(
-        "--cache-dir", required=True, help="store directory to operate on"
+        "--cache-dir",
+        default=None,
+        help="store directory to operate on (required unless --socket)",
+    )
+    cache.add_argument(
+        "--socket",
+        default=None,
+        help="ask a running daemon instead of reading a directory "
+        "(stats: live hit/miss/dedup counters; list: the daemon's "
+        "index; clear is directory-only)",
     )
 
     batch = sub.add_parser(
@@ -167,6 +228,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-serial",
         action="store_true",
         help="also time the serial per-landscape path",
+    )
+    batch.add_argument(
+        "--daemon",
+        default=None,
+        metavar="SOCKET",
+        help="serve the dense ground-truth landscape through the daemon "
+        "on this Unix socket (in-process fallback when absent)",
     )
     add_batch_size(batch)
     return parser
@@ -216,12 +284,17 @@ def _command_reconstruct(args: argparse.Namespace) -> int:
         grid,
         batch_size=args.batch_size,
         workers=args.workers,
-        # Multiprocess (or cached) shot noise needs a seeding plan the
-        # cache key can record; exact runs stay plan-independent.
+        # Multiprocess (or cached/daemon-served) shot noise needs a
+        # seeding plan the cache key can record; exact runs stay
+        # plan-independent.
         seed=args.seed
-        if (args.shots is not None and (args.workers > 1 or args.cache_dir))
+        if (
+            args.shots is not None
+            and (args.workers > 1 or args.cache_dir or args.daemon)
+        )
         else None,
         store=_store(args),
+        daemon=args.daemon,
     )
     truth = generator.grid_search(label="grid-search")
     oscar = OscarReconstructor(grid, rng=args.seed)
@@ -244,6 +317,7 @@ def _command_sycamore(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
         store=_store(args),
+        daemon=args.daemon,
     )
     oscar = OscarReconstructor(hardware.grid, rng=args.seed)
     indices = oscar.sample_indices(args.fraction)
@@ -268,6 +342,7 @@ def _command_speedup(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
         store=_store(args),
+        daemon=args.daemon,
     )
     print(
         f"grid: {result.grid_executions} executions  "
@@ -288,6 +363,7 @@ def _command_sparsity(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         workers=args.workers,
         store=_store(args),
+        daemon=args.daemon,
     )
     truth = generator.grid_search()
     fraction = truth.dct_sparsity()
@@ -361,7 +437,10 @@ def _command_batch(args: argparse.Namespace) -> int:
     ansatz = QaoaAnsatz(problem, p=1)
     grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
     generator = LandscapeGenerator(
-        cost_function(ansatz), grid, batch_size=args.batch_size
+        cost_function(ansatz),
+        grid,
+        batch_size=args.batch_size,
+        daemon=args.daemon,
     )
     truth = generator.grid_search(label="grid-search")
     oscar = OscarReconstructor(grid, rng=args.seed)
@@ -395,13 +474,59 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_cache(args: argparse.Namespace) -> int:
-    from .service import LandscapeStore
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import DEFAULT_SOCKET, LandscapeDaemon
 
+    socket_path = args.socket or DEFAULT_SOCKET
+    daemon = LandscapeDaemon(
+        socket_path,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        max_bytes=args.max_bytes,
+        shard_points=args.shard_points,
+    )
+    cache = args.cache_dir or "disabled (in-flight dedup only)"
+    print(
+        f"landscape daemon: socket {socket_path}  workers {args.workers}  "
+        f"cache {cache}"
+    )
+    print("serving; stop with Ctrl-C or a client shutdown request")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.close()
+    print("daemon stopped")
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from .service import DaemonUnavailable, LandscapeClient, LandscapeStore
+
+    if args.socket is not None and args.action in ("list", "stats"):
+        client = LandscapeClient(args.socket, fallback=False)
+        try:
+            return _cache_from_daemon(client, args.action)
+        except DaemonUnavailable:
+            print(f"cache: no landscape daemon reachable on {args.socket}")
+            return 2
+
+    if args.cache_dir is None:
+        print("cache: --cache-dir is required (or --socket for a daemon)")
+        return 2
     store = LandscapeStore(args.cache_dir)
     if args.action == "clear":
         removed = store.clear()
         print(f"cleared {removed} cached landscape(s) from {store.root}")
+        return 0
+    if args.action == "stats":
+        stats = store.stats()
+        budget = "unbounded" if stats["max_bytes"] is None else stats["max_bytes"]
+        print(
+            f"{stats['entries']} cached landscape(s) in {stats['root']}: "
+            f"{stats['payload_bytes']} payload bytes (budget: {budget})"
+        )
         return 0
     entries = store.entries()
     if not entries:
@@ -417,6 +542,43 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_from_daemon(client, action: str) -> int:
+    """``oscar-repro cache list|stats`` against a live daemon socket."""
+    if action == "stats":
+        stats = client.stats()
+        counters = stats["counters"]
+        print(
+            f"daemon pid {stats['pid']}  workers {stats['workers']}  "
+            f"uptime {stats['uptime']:.1f}s"
+        )
+        print(
+            "  requests {requests}  hits {hits}  misses {misses}  "
+            "computed {computed}  deduped {deduped}  "
+            "errors {errors}".format(**counters)
+        )
+        store = stats["store"]
+        if store is None:
+            print("  store: disabled")
+        else:
+            print(
+                f"  store: {store['entries']} entries, "
+                f"{store['payload_bytes']} payload bytes in "
+                f"{store['root']}"
+            )
+        return 0
+    entries = client.index()
+    if not entries:
+        print("no cached landscapes served by the daemon")
+        return 0
+    print(f"{len(entries)} cached landscape(s), LRU first:")
+    for entry in entries:
+        print(
+            f"  {entry['key']}  {entry['payload_bytes']:>8d} B  "
+            f"access {entry['access']:>4d}  {entry['label']}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "reconstruct": _command_reconstruct,
     "sycamore": _command_sycamore,
@@ -425,6 +587,7 @@ _COMMANDS = {
     "adaptive": _command_adaptive,
     "analyze": _command_analyze,
     "batch": _command_batch,
+    "serve": _command_serve,
     "cache": _command_cache,
 }
 

@@ -108,6 +108,7 @@ def sycamore_landscape(
     batch_size: int | None = None,
     workers: int = 1,
     store=None,
+    daemon=None,
 ) -> tuple[Landscape, Landscape]:
     """Generate a (hardware-like, ideal) landscape pair.
 
@@ -124,6 +125,9 @@ def sycamore_landscape(
         store: optional :class:`~repro.service.store.LandscapeStore`;
             the (exact) ideal landscape is then served from cache on
             repeated calls, leaving only the cheap noise synthesis.
+        daemon: socket path (or client) of a running landscape daemon;
+            the ideal landscape is then served by the daemon's shared
+            pool/cache, with in-process fallback.
 
     Returns:
         ``(hardware, ideal)`` landscapes on the same 50 x 50 grid.
@@ -140,6 +144,7 @@ def sycamore_landscape(
         batch_size=batch_size,
         workers=workers,
         store=store,
+        daemon=daemon,
     )
     ideal = generator.grid_search(label=f"sycamore-{kind}-ideal")
 

@@ -64,6 +64,7 @@ def run_mitigation_study(
     seed: int = 0,
     batch_size: int | None = None,
     workers: int = 1,
+    daemon=None,
 ) -> tuple[MitigationLandscapes, list[MetricsRow]]:
     """Generate the Fig. 9 landscapes and the Fig. 10 metric table.
 
@@ -102,9 +103,13 @@ def run_mitigation_study(
             grid,
             batch_size=batch_size,
             workers=workers,
-            # Multiprocess shot noise needs a per-shard seeding plan;
-            # in-process runs keep the serial rng threading untouched.
-            seed=(seed + 31 * (position + 1)) if workers > 1 else None,
+            # Multiprocess (or daemon-served) shot noise needs a
+            # per-shard seeding plan; in-process runs keep the serial
+            # rng threading untouched.
+            seed=(seed + 31 * (position + 1))
+            if (workers > 1 or daemon is not None)
+            else None,
+            daemon=daemon,
         )
         truth = generator.grid_search(label=f"{setting}-original")
         # Stable per-setting seed (str hash is randomized per process).

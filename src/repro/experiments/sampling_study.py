@@ -49,6 +49,7 @@ def _instance_errors(
     shots: int | None,
     batch_size: int | None = None,
     workers: int = 1,
+    daemon=None,
 ) -> np.ndarray:
     """Per-instance NRMSE; sampling/execution stay per-instance (seeded
     identically to the serial path) while the reconstructions of all
@@ -66,9 +67,13 @@ def _instance_errors(
             grid,
             batch_size=batch_size,
             workers=workers,
-            # Multiprocess shot noise needs a per-shard seeding plan;
-            # in-process runs keep the serial rng threading untouched.
-            seed=(seed + 57 * instance) if (workers > 1 and shots) else None,
+            # Multiprocess (or daemon-served) shot noise needs a
+            # per-shard seeding plan; in-process runs keep the serial
+            # rng threading untouched.
+            seed=(seed + 57 * instance)
+            if ((workers > 1 or daemon is not None) and shots)
+            else None,
+            daemon=daemon,
         )
         truths.append(generator.grid_search())
         reconstructor = OscarReconstructor(grid, rng=seed + 101 * instance)
@@ -92,6 +97,7 @@ def run_fig4_sweep(
     seed: int = 0,
     batch_size: int | None = None,
     workers: int = 1,
+    daemon=None,
 ) -> list[FractionSweepPoint]:
     """One panel of Fig. 4: quartile NRMSE vs sampling fraction.
 
@@ -129,6 +135,7 @@ def run_fig4_sweep(
                 shots if noisy else None,
                 batch_size=batch_size,
                 workers=workers,
+                daemon=daemon,
             )
             q1, median, q3 = np.percentile(errors, (25, 50, 75))
             points.append(

@@ -130,6 +130,23 @@ class SliceCostFunction:
             rng=self.rng,
         )
 
+    def cache_spec(self) -> dict:
+        """Canonical content description for the landscape store/daemon.
+
+        A slice landscape is determined by the ansatz/problem content,
+        the slice geometry (which two parameters vary, what the frozen
+        coordinates are), the noise model and the shot budget; the grid
+        axes are added by the generator layer.
+        """
+        return {
+            "kind": "slice",
+            "ansatz": self.ansatz.cache_spec(),
+            "varying": [int(index) for index in self.spec.varying],
+            "fixed_values": [float(v) for v in self.spec.fixed_values],
+            "noise": None if self.noise is None else self.noise.cache_spec(),
+            "shots": self.shots,
+        }
+
 
 def slice_generator(
     ansatz: Ansatz,
@@ -139,14 +156,17 @@ def slice_generator(
     rng: np.random.Generator | None = None,
     batch_size: int | None = None,
     workers: int = 1,
+    daemon=None,
 ) -> LandscapeGenerator:
     """A batch-capable :class:`LandscapeGenerator` over the slice's grid.
 
     ``workers`` fans the slice grid out across the sharded executor
     (exact slices only: shot-noise slices bind their rng here, which
-    multiprocess execution would need a ``seed=`` plan for).
+    multiprocess execution would need a ``seed=`` plan for);
+    ``daemon`` serves the slice through a running landscape daemon
+    (with in-process fallback).
     """
     function = SliceCostFunction(ansatz, spec, noise=noise, shots=shots, rng=rng)
     return LandscapeGenerator(
-        function, spec.grid, batch_size=batch_size, workers=workers
+        function, spec.grid, batch_size=batch_size, workers=workers, daemon=daemon
     )

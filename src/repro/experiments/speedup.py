@@ -53,6 +53,7 @@ def measure_speedup(
     batch_size: int | None = None,
     workers: int = 1,
     store=None,
+    daemon=None,
 ) -> SpeedupResult:
     """Find the smallest sampling fraction meeting the accuracy target.
 
@@ -61,7 +62,9 @@ def measure_speedup(
     the samples used.  Falls back to the best fraction tried if none
     meets the target.  ``workers`` shards the (exact) landscape
     evaluation across processes; ``store`` serves the dense ground
-    truth from a :class:`~repro.service.store.LandscapeStore` cache.
+    truth from a :class:`~repro.service.store.LandscapeStore` cache;
+    ``daemon`` routes it through a running landscape daemon instead
+    (shared pool + cache, with in-process fallback).
     """
     problem = random_3_regular_maxcut(num_qubits, seed=seed)
     ansatz = QaoaAnsatz(problem, p=1)
@@ -72,6 +75,7 @@ def measure_speedup(
         batch_size=batch_size,
         workers=workers,
         store=store,
+        daemon=daemon,
     )
     truth = generator.grid_search()
 

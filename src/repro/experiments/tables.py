@@ -65,6 +65,7 @@ def slice_reconstruction_error(
     seed: int = 0,
     batch_size: int | None = None,
     workers: int = 1,
+    daemon=None,
 ) -> tuple[float, float]:
     """Median (NRMSE, DCT-sparsity) over random 2-parameter slices.
 
@@ -81,7 +82,7 @@ def slice_reconstruction_error(
     for _ in range(repeats):
         spec = random_slice(ansatz, points_per_axis, rng=rng)
         generator = slice_generator(
-            ansatz, spec, batch_size=batch_size, workers=workers
+            ansatz, spec, batch_size=batch_size, workers=workers, daemon=daemon
         )
         truth = generator.grid_search()
         reconstructor = OscarReconstructor(spec.grid, rng=rng)
@@ -97,6 +98,7 @@ def run_table2(
     seed: int = 0,
     batch_size: int | None = None,
     workers: int = 1,
+    daemon=None,
 ) -> list[SliceReconstructionRow]:
     """Table 2: QAOA vs Two-local on 4/6-qubit MaxCut and SK problems.
 
@@ -128,6 +130,7 @@ def run_table2(
                 seed,
                 batch_size,
                 workers,
+                daemon=daemon,
             )
             rows.append(
                 SliceReconstructionRow(
@@ -149,6 +152,7 @@ def run_table3(
     seed: int = 0,
     batch_size: int | None = None,
     workers: int = 1,
+    daemon=None,
 ) -> list[SliceReconstructionRow]:
     """Table 3: H2 and LiH with Two-local and UCCSD ansatzes.
 
@@ -168,7 +172,14 @@ def run_table3(
     rows = []
     for molecule, ansatz_name, ansatz, points in cases:
         error, sparsity = slice_reconstruction_error(
-            ansatz, points, sampling_fraction, repeats, seed, batch_size, workers
+            ansatz,
+            points,
+            sampling_fraction,
+            repeats,
+            seed,
+            batch_size,
+            workers,
+            daemon=daemon,
         )
         rows.append(
             SliceReconstructionRow(
@@ -189,6 +200,7 @@ def run_table4(
     seed: int = 0,
     batch_size: int | None = None,
     workers: int = 1,
+    daemon=None,
 ) -> list[SliceReconstructionRow]:
     """Table 4: DCT-sparsity fractions across problems and ansatzes.
 
@@ -204,7 +216,7 @@ def run_table4(
         for _ in range(repeats):
             spec = random_slice(ansatz, points, rng=rng)
             truth = slice_generator(
-                ansatz, spec, batch_size=batch_size, workers=workers
+                ansatz, spec, batch_size=batch_size, workers=workers, daemon=daemon
             ).grid_search()
             fractions.append(dct_sparsity(truth.values))
         return float(np.median(fractions))

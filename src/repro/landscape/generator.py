@@ -32,7 +32,11 @@ On top of the single-process engine sit the service knobs
   shot-noise results are bit-identical for any worker count;
 - ``store=`` consults a content-addressed
   :class:`~repro.service.store.LandscapeStore` before running a grid
-  search, so repeated requests for the same landscape are file loads.
+  search, so repeated requests for the same landscape are file loads;
+- ``daemon=`` routes :meth:`LandscapeGenerator.grid_search` through a
+  running :class:`~repro.service.daemon.LandscapeDaemon` (shared
+  persistent pool + shared cache + request dedup), falling back to the
+  in-process path when no daemon is listening.
 """
 
 from __future__ import annotations
@@ -228,6 +232,33 @@ class LandscapeGenerator:
         store: a :class:`~repro.service.store.LandscapeStore`;
             :meth:`grid_search` then serves repeated requests from the
             cache (see :meth:`cache_spec`).
+        daemon: socket path of a running
+            :class:`~repro.service.daemon.LandscapeDaemon` (or a
+            :class:`~repro.service.client.LandscapeClient`);
+            :meth:`grid_search` is then served by the daemon — shared
+            persistent pool, shared cache, concurrent identical
+            requests computed once — and transparently falls back to
+            this generator's own in-process path (honouring
+            ``workers``/``store``) when no daemon is listening.
+        executor_pool: an already-running ``multiprocessing`` pool the
+            sharded executor should reuse instead of forking per call
+            (how the daemon itself executes requests); the pool's
+            lifetime belongs to the caller.
+
+    Example — a dense grid search over a 4-qubit QAOA landscape::
+
+        >>> from repro.ansatz import QaoaAnsatz
+        >>> from repro.landscape import LandscapeGenerator, cost_function, qaoa_grid
+        >>> from repro.problems import random_3_regular_maxcut
+        >>> ansatz = QaoaAnsatz(random_3_regular_maxcut(4, seed=0), p=1)
+        >>> generator = LandscapeGenerator(
+        ...     cost_function(ansatz), qaoa_grid(p=1, resolution=(4, 8))
+        ... )
+        >>> landscape = generator.grid_search(label="demo")
+        >>> landscape.values.shape
+        (4, 8)
+        >>> landscape.circuit_executions
+        32
     """
 
     def __init__(
@@ -239,6 +270,8 @@ class LandscapeGenerator:
         shard_points: int | None = None,
         seed: int | None = None,
         store: "LandscapeStore | None" = None,
+        daemon=None,
+        executor_pool=None,
     ):
         self.function = function
         self.grid = grid
@@ -251,6 +284,8 @@ class LandscapeGenerator:
         self.shard_points = shard_points
         self.seed = None if seed is None else int(seed)
         self.store = store
+        self.daemon = daemon
+        self.executor_pool = executor_pool
 
     def _resolved_batch_size(self) -> int:
         return resolve_batch_size(self.function, self.batch_size)
@@ -272,8 +307,19 @@ class LandscapeGenerator:
         from ..service.shards import ShardedExecutor
 
         return ShardedExecutor(
-            workers=self.workers, shard_points=self.shard_points, seed=self.seed
+            workers=self.workers,
+            shard_points=self.shard_points,
+            seed=self.seed,
+            pool=self.executor_pool,
         )
+
+    def _client(self):
+        """The daemon client for ``daemon=`` (paths become clients)."""
+        from ..service.client import LandscapeClient
+
+        if isinstance(self.daemon, LandscapeClient):
+            return self.daemon
+        return LandscapeClient(self.daemon)
 
     def evaluate_points(self, points: np.ndarray) -> np.ndarray:
         """Cost values for an ``(m, ndim)`` array of parameter vectors.
@@ -340,9 +386,30 @@ class LandscapeGenerator:
     def grid_search(self, label: str = "ground-truth") -> Landscape:
         """Dense evaluation of every grid point (the expensive baseline).
 
-        With ``store=`` set, the store is consulted first: a hit is a
-        file load (relabelled to ``label``), a miss computes and
-        persists before returning.
+        With ``daemon=`` set, the request is served by the landscape
+        daemon (its cache, its persistent pool, deduplicated against
+        concurrent identical requests), falling back to the local path
+        below when no daemon is listening.  With ``store=`` set, the
+        store is consulted first: a hit is a file load (relabelled to
+        ``label``), a miss computes and persists before returning.
+        """
+        if self.daemon is not None:
+            return self._client().get_or_compute(
+                self.function,
+                self.grid,
+                batch_size=self.batch_size,
+                seed=self.seed,
+                shard_points=self.shard_points,
+                label=label,
+                fallback=lambda: self.local_grid_search(label),
+            )
+        return self.local_grid_search(label)
+
+    def local_grid_search(self, label: str = "ground-truth") -> Landscape:
+        """The in-process :meth:`grid_search` path (ignores ``daemon=``).
+
+        This is both the no-daemon fallback and what the daemon itself
+        runs server-side; ``store=`` caching still applies.
         """
         if self.store is not None:
             landscape = self.store.get_or_compute(

@@ -9,6 +9,7 @@ metrics/interpolation/optimizers consume it.
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -94,6 +95,37 @@ class Landscape:
 
     # -- persistence ---------------------------------------------------------
 
+    def _payload_arrays(self) -> dict:
+        """The arrays :meth:`save`/:meth:`to_bytes` serialize."""
+        return dict(
+            values=self.values,
+            axis_names=np.array([axis.name for axis in self.grid.axes]),
+            axis_lows=np.array([axis.low for axis in self.grid.axes]),
+            axis_highs=np.array([axis.high for axis in self.grid.axes]),
+            axis_points=np.array([axis.num_points for axis in self.grid.axes]),
+            label=np.array(self.label),
+            circuit_executions=np.array(self.circuit_executions),
+        )
+
+    @classmethod
+    def _from_arrays(cls, data) -> "Landscape":
+        """Rebuild from the mapping :meth:`_payload_arrays` produced."""
+        axes = [
+            GridAxis(str(name), float(low), float(high), int(points))
+            for name, low, high, points in zip(
+                data["axis_names"],
+                data["axis_lows"],
+                data["axis_highs"],
+                data["axis_points"],
+            )
+        ]
+        return cls(
+            ParameterGrid(axes),
+            data["values"],
+            label=str(data["label"]),
+            circuit_executions=int(data["circuit_executions"]),
+        )
+
     def save(self, path: str | Path) -> None:
         """Serialise to ``.npz`` (values + axis definitions + metadata).
 
@@ -102,40 +134,31 @@ class Landscape:
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        axis_names = [axis.name for axis in self.grid.axes]
-        axis_lows = [axis.low for axis in self.grid.axes]
-        axis_highs = [axis.high for axis in self.grid.axes]
-        axis_points = [axis.num_points for axis in self.grid.axes]
-        np.savez_compressed(
-            path,
-            values=self.values,
-            axis_names=np.array(axis_names),
-            axis_lows=np.array(axis_lows),
-            axis_highs=np.array(axis_highs),
-            axis_points=np.array(axis_points),
-            label=np.array(self.label),
-            circuit_executions=np.array(self.circuit_executions),
-        )
+        np.savez_compressed(path, **self._payload_arrays())
 
     @classmethod
     def load(cls, path: str | Path) -> "Landscape":
         """Deserialise from :meth:`save` output."""
         with np.load(Path(path), allow_pickle=False) as data:
-            axes = [
-                GridAxis(str(name), float(low), float(high), int(points))
-                for name, low, high, points in zip(
-                    data["axis_names"],
-                    data["axis_lows"],
-                    data["axis_highs"],
-                    data["axis_points"],
-                )
-            ]
-            return cls(
-                ParameterGrid(axes),
-                data["values"],
-                label=str(data["label"]),
-                circuit_executions=int(data["circuit_executions"]),
-            )
+            return cls._from_arrays(data)
+
+    def to_bytes(self) -> bytes:
+        """The :meth:`save` payload as in-memory bytes.
+
+        This is the wire format of the landscape daemon
+        (:mod:`repro.service.daemon`): one compressed ``.npz`` blob,
+        identical to what :meth:`save` writes, so a served landscape and
+        a stored landscape are the same artifact.
+        """
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **self._payload_arrays())
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Landscape":
+        """Rebuild a landscape from :meth:`to_bytes` output."""
+        with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+            return cls._from_arrays(data)
 
     def with_values(self, values: np.ndarray, label: str | None = None) -> "Landscape":
         """A copy on the same grid with different values."""

@@ -12,12 +12,21 @@ package is the first step toward a system that serves repeated traffic:
   ``multiprocessing`` pool, with `SeedSequence.spawn`-style per-shard
   seeding so shot-noise results are bit-identical for any worker count.
 
-Both wire into :class:`repro.landscape.generator.LandscapeGenerator`
-through its ``workers=``, ``shard_points=``, ``seed=`` and ``store=``
-knobs; see ``README.md`` in this directory for the store layout and the
-reproducibility contract.
+- :mod:`repro.service.daemon` / :mod:`repro.service.client` — a
+  long-running :class:`LandscapeDaemon` owning one persistent pool and
+  one store behind a Unix-domain socket (JSON-lines protocol), and the
+  :class:`LandscapeClient` library that talks to it with transparent
+  in-process fallback.
+
+All of it wires into :class:`repro.landscape.generator.LandscapeGenerator`
+through its ``workers=``, ``shard_points=``, ``seed=``, ``store=`` and
+``daemon=`` knobs; see ``README.md`` in this directory for the store
+layout and the reproducibility contract, and ``docs/architecture.md``
+for the layer map.
 """
 
+from .client import DaemonError, DaemonUnavailable, LandscapeClient
+from .daemon import DEFAULT_SOCKET, LandscapeDaemon
 from .shards import Shard, ShardedExecutor, plan_shards
 from .store import LandscapeSpec, LandscapeStore, StoreEntry
 
@@ -28,4 +37,9 @@ __all__ = [
     "LandscapeSpec",
     "LandscapeStore",
     "StoreEntry",
+    "LandscapeDaemon",
+    "LandscapeClient",
+    "DaemonError",
+    "DaemonUnavailable",
+    "DEFAULT_SOCKET",
 ]

@@ -1,0 +1,271 @@
+"""Client library for the landscape daemon.
+
+:class:`LandscapeClient` talks the JSON-lines protocol of
+:class:`~repro.service.daemon.LandscapeDaemon` over its Unix-domain
+socket.  The headline call is :meth:`LandscapeClient.get_or_compute`,
+which ships a cost function + grid to the daemon and gets a
+:class:`~repro.landscape.landscape.Landscape` back — served from the
+daemon's shared store when cached, computed once on its persistent pool
+otherwise (concurrent identical requests are deduplicated server-side).
+
+The client **falls back transparently** to in-process execution when no
+daemon is listening (socket missing, connection refused, daemon gone
+mid-request), so library code can pass ``daemon=`` unconditionally: with
+a daemon running requests share one pool and one cache, without one they
+behave exactly as before.  Server-side *errors* (a malformed task, shot
+noise without a seed) are raised as :class:`DaemonError` instead — a
+reachable daemon rejecting a request is a bug to surface, not a reason
+to silently recompute.
+
+Example — no daemon on this socket, so the call computes locally::
+
+    >>> from repro.ansatz import QaoaAnsatz
+    >>> from repro.landscape import cost_function, qaoa_grid
+    >>> from repro.problems import random_3_regular_maxcut
+    >>> from repro.service import LandscapeClient
+    >>> client = LandscapeClient("definitely-not-listening.sock")
+    >>> client.is_alive()
+    False
+    >>> ansatz = QaoaAnsatz(random_3_regular_maxcut(4, seed=0), p=1)
+    >>> landscape = client.get_or_compute(
+    ...     cost_function(ansatz), qaoa_grid(p=1, resolution=(4, 8))
+    ... )
+    >>> landscape.values.shape, client.fallbacks
+    ((4, 8), 1)
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..ansatz.base import Ansatz
+from ..landscape.landscape import Landscape
+from .daemon import decode_blob, encode_blob, read_response, write_message
+
+__all__ = ["DaemonError", "DaemonUnavailable", "LandscapeClient"]
+
+
+class DaemonUnavailable(ConnectionError):
+    """No daemon is reachable on the socket (triggers local fallback)."""
+
+
+class DaemonError(RuntimeError):
+    """The daemon answered with a structured error response."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"{kind}: {message}")
+        #: exception type name reported by the daemon
+        self.kind = kind
+
+
+class LandscapeClient:
+    """Talks to a :class:`~repro.service.daemon.LandscapeDaemon`.
+
+    Args:
+        socket_path: the daemon's Unix-socket path.
+        timeout: per-request socket timeout in seconds (``None`` waits
+            indefinitely — computes can legitimately take minutes).
+        fallback: whether :meth:`get_or_compute` computes in-process
+            when no daemon is reachable.  ``False`` raises
+            :class:`DaemonUnavailable` instead (the equivalence harness
+            uses this so a dead daemon fails loudly).
+
+    The instance counts :attr:`fallbacks` (requests served locally) and
+    remembers :attr:`last_served_by` (``"daemon-hit"``,
+    ``"daemon-computed"``, ``"daemon-deduped"`` or ``"local"``) so
+    callers and tests can see where a landscape came from.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        timeout: float | None = None,
+        fallback: bool = True,
+    ):
+        self.socket_path = Path(socket_path)
+        self.timeout = timeout
+        self.fallback = fallback
+        self.fallbacks = 0
+        self.last_served_by: str | None = None
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request/response round trip on a fresh connection.
+
+        Connectivity failures raise :class:`DaemonUnavailable`;
+        protocol-level failures raise :class:`DaemonError`.
+        """
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as connection:
+                connection.settimeout(self.timeout)
+                connection.connect(str(self.socket_path))
+                with connection.makefile("rwb") as stream:
+                    write_message(stream, payload)
+                    response = read_response(stream)
+        except (OSError, ConnectionError) as error:
+            raise DaemonUnavailable(
+                f"no landscape daemon reachable on {self.socket_path}: {error}"
+            ) from error
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise DaemonError(
+                str(error.get("type", "UnknownError")),
+                str(error.get("message", "")),
+            )
+        return response
+
+    # -- probes and maintenance --------------------------------------------
+
+    def is_alive(self) -> bool:
+        """Whether a daemon answers a ``ping`` on the socket."""
+        try:
+            self._request({"op": "ping"})
+            return True
+        except DaemonUnavailable:
+            return False
+
+    def ping(self) -> dict[str, Any]:
+        """The daemon's ``ping`` response (pid, workers, uptime)."""
+        return self._request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        """Request/hit/miss/dedup counters plus the store summary."""
+        response = self._request({"op": "stats"})
+        response.pop("ok", None)
+        return response
+
+    def index(self) -> list[dict[str, Any]]:
+        """The daemon store's entry listing (LRU first)."""
+        return list(self._request({"op": "index"})["entries"])
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one cached entry by key; returns whether it existed."""
+        return bool(self._request({"op": "invalidate", "key": key})["removed"])
+
+    def get(self, key: str) -> Landscape | None:
+        """Fetch a cached landscape by key without ever computing."""
+        blob = self._request({"op": "get", "key": key})["landscape"]
+        return None if blob is None else Landscape.from_bytes(decode_blob(blob))
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop serving (best-effort, returns after
+        the daemon acknowledges)."""
+        self._request({"op": "shutdown"})
+
+    # -- the service path --------------------------------------------------
+
+    def get_or_compute(
+        self,
+        function: Callable,
+        grid,
+        batch_size: int | None = None,
+        seed: int | None = None,
+        shard_points: int | None = None,
+        label: str = "landscape",
+        fallback: Callable[[], Landscape] | None = None,
+    ) -> Landscape:
+        """A dense landscape for ``(function, grid)``, served or computed.
+
+        Ships the pickled cost function and grid to the daemon, which
+        derives the canonical :class:`~repro.service.store.LandscapeSpec`
+        itself, serves a store hit, or computes once on its persistent
+        pool (deduplicating concurrent identical requests).  ``seed`` /
+        ``shard_points`` fix the rng plan exactly as they do on
+        :class:`~repro.landscape.generator.LandscapeGenerator` — shot
+        noise needs ``seed=`` to be cacheable at all.
+
+        With no daemon reachable and ``fallback`` enabled, the request
+        is computed in-process: by the ``fallback`` callable when given
+        (:class:`~repro.landscape.generator.LandscapeGenerator` passes
+        its own local path, preserving its ``workers``/``store``
+        settings), else by a plain single-process generator.
+        """
+        task = {
+            "function": function,
+            "grid": grid,
+            "batch_size": batch_size,
+            "seed": seed,
+            "shard_points": shard_points,
+            "label": label,
+        }
+        try:
+            response = self._request(
+                {"op": "compute", "task": encode_blob(pickle.dumps(task)), "label": label}
+            )
+        except DaemonUnavailable:
+            # fallback=False is the loud-failure configuration: it wins
+            # even when the caller supplied a fallback callable (the
+            # generator wiring always does).
+            if not self.fallback:
+                raise
+            self.fallbacks += 1
+            self.last_served_by = "local"
+            if fallback is not None:
+                return fallback()
+            return self._local_compute(task)
+        landscape = Landscape.from_bytes(decode_blob(response["landscape"]))
+        if response.get("deduped"):
+            self.last_served_by = "daemon-deduped"
+        elif response.get("hit"):
+            self.last_served_by = "daemon-hit"
+        else:
+            self.last_served_by = "daemon-computed"
+        if landscape.label != label:
+            landscape = replace(landscape, label=label)
+        return landscape
+
+    @staticmethod
+    def _local_compute(task: dict[str, Any]) -> Landscape:
+        from ..landscape.generator import LandscapeGenerator
+
+        generator = LandscapeGenerator(
+            task["function"],
+            task["grid"],
+            batch_size=task["batch_size"],
+            seed=task["seed"],
+            shard_points=task["shard_points"],
+        )
+        return generator.local_grid_search(task["label"])
+
+    # -- raw evaluation (the equivalence-harness path) ---------------------
+
+    def evaluate_ansatz(
+        self,
+        ansatz: Ansatz,
+        batch: np.ndarray | Sequence[Sequence[float]],
+        noise=None,
+        shots: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Uncached batch evaluation through the daemon.
+
+        The caller's ``rng`` (if any) is pickled over, consumed by the
+        daemon's executor, and its final state is written back into the
+        caller's generator — so values *and* rng stream position match
+        an in-process evaluation exactly.  This is the call the
+        ``daemon`` engine in ``tests/equivalence/harness.py`` is built
+        on; it never falls back (a dead daemon must fail the parity
+        matrix, not silently pass it).
+        """
+        task = {
+            "ansatz": ansatz,
+            "batch": np.asarray(batch, dtype=float),
+            "noise": noise,
+            "shots": shots,
+            "rng": rng,
+        }
+        response = self._request(
+            {"op": "evaluate", "task": encode_blob(pickle.dumps(task))}
+        )
+        values = pickle.loads(decode_blob(response["values"]))
+        if rng is not None and response.get("rng") is not None:
+            advanced = pickle.loads(decode_blob(response["rng"]))
+            rng.bit_generator.state = advanced.bit_generator.state
+        return np.asarray(values)

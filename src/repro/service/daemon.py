@@ -1,0 +1,526 @@
+"""The landscape daemon: a persistent-pool service front over the store.
+
+:class:`LandscapeDaemon` is a long-running server that owns **one**
+persistent ``multiprocessing`` pool and **one**
+:class:`~repro.service.store.LandscapeStore`, and serves landscape
+requests to any number of local clients over a Unix-domain socket.
+Compared with each client running its own
+:class:`~repro.service.shards.ShardedExecutor`, the daemon
+
+- **amortizes pool startup**: workers fork once at daemon start and
+  stay warm, so a request pays only the socket round trip instead of
+  per-call pool creation (gated in ``benchmarks/test_daemon.py``);
+- **single-flights identical requests**: concurrent ``compute``
+  requests for the same :class:`~repro.service.store.LandscapeSpec`
+  key join one in-flight computation instead of racing the pool — the
+  leader computes, followers wait on the result;
+- **makes LRU accounting single-writer**: every store read/write runs
+  under the daemon's store lock in one process, which closes the
+  documented last-writer-wins hazard of multiple processes bumping the
+  access counter independently (the ``flock`` fallback in the store
+  remains for direct multi-process use without a daemon).
+
+Wire protocol — **JSON lines** over ``AF_UNIX``: each request is a
+single newline-terminated JSON object; each response is a single JSON
+object with ``"ok": true`` plus op-specific fields, or ``"ok": false``
+and a structured ``"error": {"type", "message"}`` (a malformed request
+gets an error response; it never kills the server).  A connection may
+issue any number of requests sequentially.
+
+=============  ==============================================================
+op             meaning
+=============  ==============================================================
+``ping``       liveness probe; returns pid/workers/uptime
+``compute``    ``get_or_compute`` for a pickled ``(function, grid, ...)``
+               task: store hit, else single-flighted computation on the
+               persistent pool; returns the landscape as base64 ``.npz``
+``get``        store lookup by spec key (no computation)
+``evaluate``   raw (uncached) batch evaluation of a pickled ansatz task;
+               threads the caller's pickled rng through and returns its
+               final state, which is what lets the daemon-backed path
+               register in ``tests/equivalence/harness.py``
+``invalidate`` drop one store entry by key
+``index``      list cached entries (key, label, bytes, access stamp)
+``stats``      request/hit/miss/dedup counters + store summary
+``shutdown``   stop serving (the socket file is removed on close)
+=============  ==============================================================
+
+``compute`` and ``evaluate`` tasks are **pickled** by the client.  The
+trust boundary is the socket file's filesystem permissions: anyone who
+can connect can execute code in the daemon process, exactly like any
+local pickle-based worker pool (``multiprocessing`` itself included).
+Keep the socket in a directory only the owning user can write.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import socketserver
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Any, BinaryIO
+
+import numpy as np
+
+from ..landscape.landscape import Landscape
+from .shards import ShardedExecutor, _pool_context
+from .store import LandscapeStore
+
+__all__ = ["LandscapeDaemon", "DEFAULT_SOCKET"]
+
+#: Default Unix-socket path (relative to the working directory) shared
+#: by ``oscar-repro serve`` and the ``--daemon`` client flags.
+DEFAULT_SOCKET = "oscar-repro.sock"
+
+
+def encode_blob(data: bytes) -> str:
+    """Binary payload -> JSON-safe base64 string (wire helper)."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_blob(text: str) -> bytes:
+    """Inverse of :func:`encode_blob`."""
+    return base64.b64decode(text.encode("ascii"))
+
+
+def read_response(stream: BinaryIO) -> dict[str, Any]:
+    """Read one JSON-lines protocol message from a binary stream.
+
+    Raises ``ConnectionError`` on EOF (the peer vanished mid-request),
+    which the client maps to its unavailable/fallback path.
+    """
+    line = stream.readline()
+    if not line:
+        raise ConnectionError("daemon closed the connection mid-request")
+    return json.loads(line)
+
+
+def write_message(stream: BinaryIO, message: dict[str, Any]) -> None:
+    """Write one JSON-lines protocol message to a binary stream."""
+    stream.write(json.dumps(message).encode("utf-8") + b"\n")
+    stream.flush()
+
+
+class _Flight:
+    """One in-flight computation that concurrent identical requests join."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.landscape: Landscape | None = None
+        self.hit = False
+        self.error: BaseException | None = None
+
+
+class _Server(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    """Threading Unix-socket server holding a back-reference to the daemon."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, socket_path: str, landscape_daemon: "LandscapeDaemon"):
+        self.landscape_daemon = landscape_daemon
+        super().__init__(socket_path, _Handler)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """Per-connection handler: one JSON line in, one JSON line out."""
+
+    def handle(self) -> None:
+        daemon = self.server.landscape_daemon
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            response = daemon.handle_line(line)
+            try:
+                write_message(self.wfile, response)
+            except (BrokenPipeError, ConnectionResetError):
+                return  # client went away; nothing to report to
+
+
+class LandscapeDaemon:
+    """Long-running landscape server over a Unix-domain socket.
+
+    Args:
+        socket_path: where to bind the ``AF_UNIX`` socket (the file is
+            created on :meth:`start` and removed on :meth:`close`; keep
+            it under ~100 characters, the kernel's path limit).
+        workers: process count for the persistent pool.  ``1`` serves
+            every request in-process (no pool) — still useful for the
+            shared cache, single-flight dedup, and single-writer LRU.
+        cache_dir: directory for the daemon's
+            :class:`~repro.service.store.LandscapeStore`.  ``None``
+            (and no ``store``) disables caching: every ``compute``
+            computes, but identical concurrent requests still
+            single-flight.
+        store: an existing store instance (overrides ``cache_dir``).
+        max_bytes: LRU byte budget passed to the store built from
+            ``cache_dir``.
+        shard_points: default shard layout for requests that do not
+            bring their own (see
+            :func:`~repro.service.shards.plan_shards`).
+
+    Typical embedding (tests, examples) runs the daemon on a background
+    thread::
+
+        daemon = LandscapeDaemon("d.sock", workers=2, cache_dir="cache")
+        daemon.start()          # binds + serves on a thread
+        ...                     # clients connect via LandscapeClient
+        daemon.close()          # stop serving, join, release the pool
+
+    ``oscar-repro serve`` runs :meth:`serve_forever` in the foreground
+    instead.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        store: LandscapeStore | None = None,
+        max_bytes: int | None = None,
+        shard_points: int | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.socket_path = Path(socket_path)
+        self.workers = int(workers)
+        self.shard_points = shard_points
+        if store is None and cache_dir is not None:
+            store = LandscapeStore(cache_dir, max_bytes=max_bytes)
+        self.store = store
+        self._store_lock = threading.Lock()
+        self._inflight: dict[str, _Flight] = {}
+        self._inflight_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "hits": 0,
+            "misses": 0,
+            "computed": 0,
+            "deduped": 0,
+            "evaluations": 0,
+            "errors": 0,
+        }
+        self._pool = None
+        self._server: _Server | None = None
+        self._thread: threading.Thread | None = None
+        self._started = time.time()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _bind(self) -> None:
+        """Create the pool and bind the socket (idempotent)."""
+        if self._server is not None:
+            return
+        if self.workers > 1 and self._pool is None:
+            # Fork the workers before any serving thread exists:
+            # fork-under-threads is the classic multiprocessing hazard
+            # the persistent pool is designed to avoid.
+            self._pool = _pool_context().Pool(processes=self.workers)
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self._server = _Server(str(self.socket_path), self)
+        # Owner-only: anyone who can connect can execute pickled tasks,
+        # so do not rely on the umask to keep other users out.
+        os.chmod(self.socket_path, 0o600)
+        self._started = time.time()
+
+    def start(self) -> None:
+        """Bind the socket and serve on a background thread."""
+        self._bind()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="landscape-daemon",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Bind the socket and serve in the calling thread (the CLI
+        foreground path); returns after :meth:`close` or a ``shutdown``
+        op."""
+        self._bind()
+        try:
+            self._server.serve_forever()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop serving, join the server thread, release pool + socket."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self.socket_path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "LandscapeDaemon":
+        """Context-manager entry: :meth:`start` on a background thread."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    # -- request plumbing --------------------------------------------------
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[counter] += amount
+
+    def handle_line(self, line: bytes) -> dict[str, Any]:
+        """One raw request line -> one response object.
+
+        Every failure — unparseable JSON, an unknown op, a bad task, an
+        exception inside the computation — becomes a structured
+        ``{"ok": false, "error": ...}`` response; the server never dies
+        on a request.
+        """
+        self._bump("requests")
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise TypeError("request must be a JSON object")
+            op = request.get("op")
+            handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+            if handler is None or (isinstance(op, str) and op.startswith("_")):
+                raise ValueError(f"unknown op {op!r}")
+            response = handler(request)
+            response["ok"] = True
+            return response
+        except BaseException as error:  # noqa: BLE001 - protocol boundary
+            self._bump("errors")
+            return {
+                "ok": False,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error) or traceback.format_exc(limit=1),
+                },
+            }
+
+    @staticmethod
+    def _load_task(request: dict[str, Any]) -> dict[str, Any]:
+        task = request.get("task")
+        if not isinstance(task, str):
+            raise ValueError("request is missing its base64 'task' payload")
+        loaded = pickle.loads(decode_blob(task))
+        if not isinstance(loaded, dict):
+            raise TypeError("task payload must unpickle to a dict")
+        return loaded
+
+    # -- ops ---------------------------------------------------------------
+
+    def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Liveness probe."""
+        return {
+            "pid": os.getpid(),
+            "workers": self.workers,
+            "uptime": time.time() - self._started,
+        }
+
+    def _op_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Counters + store summary."""
+        with self._counter_lock:
+            counters = dict(self._counters)
+        store_stats = None
+        if self.store is not None:
+            with self._store_lock:
+                store_stats = self.store.stats()
+        return {
+            "pid": os.getpid(),
+            "workers": self.workers,
+            "uptime": time.time() - self._started,
+            "counters": counters,
+            "store": store_stats,
+        }
+
+    def _op_index(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Store index listing (LRU first); empty without a store."""
+        if self.store is None:
+            return {"entries": []}
+        with self._store_lock:
+            entries = self.store.entries()
+        return {
+            "entries": [
+                {
+                    "key": entry.key,
+                    "label": entry.label,
+                    "payload_bytes": entry.payload_bytes,
+                    "access": entry.access,
+                    "created": entry.created,
+                }
+                for entry in entries
+            ]
+        }
+
+    def _op_get(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Store lookup by key; never computes."""
+        key = request.get("key")
+        if not isinstance(key, str):
+            raise ValueError("get needs a string 'key'")
+        landscape = None
+        if self.store is not None:
+            with self._store_lock:
+                landscape = self.store.get(key)
+        return {
+            "landscape": None
+            if landscape is None
+            else encode_blob(landscape.to_bytes())
+        }
+
+    def _op_invalidate(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Drop one store entry by key."""
+        key = request.get("key")
+        if not isinstance(key, str):
+            raise ValueError("invalidate needs a string 'key'")
+        removed = False
+        if self.store is not None:
+            with self._store_lock:
+                removed = self.store.invalidate(key)
+        return {"removed": removed}
+
+    def _op_shutdown(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Acknowledge, then stop the serve loop from a side thread."""
+        threading.Thread(target=self.close, daemon=True).start()
+        return {"stopping": True}
+
+    def _op_evaluate(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Raw batch evaluation with rng round-tripping (uncached).
+
+        The task dict carries ``ansatz``, ``batch`` and optionally
+        ``noise``/``shots``/``rng``/``shard_points``/``seed``.  The
+        caller's generator (if any) is consumed here and shipped back,
+        so the client can restore its own generator to the exact stream
+        position — the property the equivalence harness probes.
+        """
+        task = self._load_task(request)
+        executor = ShardedExecutor(
+            workers=self.workers,
+            shard_points=self._resolve_shard_points(task),
+            seed=task.get("seed"),
+            pool=self._pool,
+        )
+        rng = task.get("rng")
+        values = executor.run_ansatz(
+            task["ansatz"],
+            task["batch"],
+            noise=task.get("noise"),
+            shots=task.get("shots"),
+            rng=rng,
+        )
+        self._bump("evaluations")
+        return {
+            "values": encode_blob(pickle.dumps(np.asarray(values))),
+            "rng": None if rng is None else encode_blob(pickle.dumps(rng)),
+        }
+
+    def _op_compute(self, request: dict[str, Any]) -> dict[str, Any]:
+        """The service path: store hit, else single-flighted compute.
+
+        The spec (and therefore the dedup/cache key) is derived *here*
+        from the pickled task, never trusted from the client, so the
+        in-flight table and the store can never disagree about what a
+        request means.
+        """
+        task = self._load_task(request)
+        generator = self._generator_for(task)
+        spec = generator.cache_spec()
+        key = spec.key()
+
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._inflight[key] = flight
+
+        if not leader:
+            self._bump("deduped")
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return self._compute_response(flight, deduped=True)
+
+        try:
+            landscape = None
+            if self.store is not None:
+                with self._store_lock:
+                    landscape = self.store.get(spec)
+            if landscape is not None:
+                self._bump("hits")
+                flight.hit = True
+            else:
+                self._bump("misses")
+                self._bump("computed")
+                landscape = generator.local_grid_search(
+                    str(task.get("label", "landscape"))
+                )
+                if self.store is not None:
+                    with self._store_lock:
+                        self.store.put(spec, landscape)
+            flight.landscape = landscape
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+        return self._compute_response(flight, deduped=False)
+
+    # -- compute helpers ---------------------------------------------------
+
+    def _resolve_shard_points(self, task: dict[str, Any]) -> int | None:
+        """The task's shard layout, else the daemon's default.
+
+        Clients serialize an explicit ``shard_points: None`` when the
+        caller did not choose a layout, so a plain ``dict.get`` default
+        would never apply ``--shard-points``.
+        """
+        shard_points = task.get("shard_points")
+        return self.shard_points if shard_points is None else shard_points
+
+    def _generator_for(self, task: dict[str, Any]):
+        """A generator executing this task on the daemon's resources.
+
+        Worker count comes from the daemon (results are worker-count
+        independent by the sharded-executor contract); the rng plan
+        (``seed``/``shard_points``) comes from the task, falling back
+        to the daemon's default layout — it is part of the cache key
+        for shot-noise landscapes.
+        """
+        from ..landscape.generator import LandscapeGenerator
+
+        if "function" not in task or "grid" not in task:
+            raise ValueError("compute task needs 'function' and 'grid'")
+        return LandscapeGenerator(
+            task["function"],
+            task["grid"],
+            batch_size=task.get("batch_size"),
+            workers=self.workers,
+            shard_points=self._resolve_shard_points(task),
+            seed=task.get("seed"),
+            executor_pool=self._pool,
+        )
+
+    @staticmethod
+    def _compute_response(flight: _Flight, deduped: bool) -> dict[str, Any]:
+        return {
+            "landscape": encode_blob(flight.landscape.to_bytes()),
+            "hit": flight.hit,
+            "deduped": deduped,
+        }

@@ -165,6 +165,26 @@ class ShardedExecutor:
             (``SeedSequence(seed).spawn``) — *spawn mode*, required for
             multiprocess shot noise, and what makes seeded results
             identical for any worker count.
+        pool: an already-running ``multiprocessing`` pool to reuse
+            instead of forking a fresh one per call.  This is how the
+            landscape daemon (:mod:`repro.service.daemon`) amortizes
+            pool startup across requests; the pool's lifetime belongs
+            to the caller (it is never closed here).  Ignored when a
+            run resolves to a single shard (evaluated inline).
+
+    Example — sharded evaluation matches the unsharded batch path to
+    machine precision (the cross-engine contract, ``ATOL = 1e-10``)::
+
+        >>> import numpy as np
+        >>> from repro.ansatz import QaoaAnsatz
+        >>> from repro.landscape import cost_function
+        >>> from repro.problems import random_3_regular_maxcut
+        >>> from repro.service import ShardedExecutor
+        >>> function = cost_function(QaoaAnsatz(random_3_regular_maxcut(4, seed=0), p=1))
+        >>> points = np.linspace(0.0, 1.0, 12).reshape(6, 2)
+        >>> sharded = ShardedExecutor(workers=1, shard_points=2).run(function, points)
+        >>> bool(np.allclose(sharded, function.many(points), rtol=0.0, atol=1e-10))
+        True
     """
 
     def __init__(
@@ -172,6 +192,7 @@ class ShardedExecutor:
         workers: int = 1,
         shard_points: int | None = None,
         seed: int | None = None,
+        pool=None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -180,6 +201,7 @@ class ShardedExecutor:
         self.workers = int(workers)
         self.shard_points = shard_points
         self.seed = None if seed is None else int(seed)
+        self.pool = pool
 
     # -- seeding -----------------------------------------------------------
 
@@ -218,9 +240,16 @@ class ShardedExecutor:
             )
 
     def _map(self, worker: Callable, tasks: list) -> list[np.ndarray]:
-        """Run shard tasks on the pool (or inline for a single task)."""
+        """Run shard tasks on the pool (or inline for a single task).
+
+        A caller-supplied persistent pool (``pool=``) is reused as-is;
+        otherwise an ephemeral pool is forked for this call and torn
+        down afterwards.
+        """
         if len(tasks) == 1:
             return [worker(tasks[0])]
+        if self.pool is not None:
+            return self.pool.map(worker, tasks)
         context = _pool_context()
         processes = min(self.workers, len(tasks))
         with context.Pool(processes=processes) as pool:

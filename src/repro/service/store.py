@@ -93,6 +93,20 @@ class LandscapeSpec:
             for exact landscapes, whose values
             are execution-plan independent (the same key is shared by
             any worker count or shard layout).
+
+    Two specs with the same content resolve to the same key no matter
+    which process (or machine) derived them::
+
+        >>> from repro.landscape import qaoa_grid
+        >>> from repro.service import LandscapeSpec
+        >>> grid = qaoa_grid(p=1, resolution=(4, 8))
+        >>> content = {"kind": "demo", "couplings": [[0, 1, 1.0]]}
+        >>> first = LandscapeSpec.from_parts(content, grid)
+        >>> second = LandscapeSpec.from_parts(dict(content), grid)
+        >>> first.key() == second.key()
+        True
+        >>> first.key() == LandscapeSpec.from_parts(content, grid, shots=100).key()
+        False
     """
 
     ansatz: Mapping[str, Any]
@@ -179,6 +193,27 @@ class LandscapeStore:
     The instance counts :attr:`hits` and :attr:`misses` across
     :meth:`get_or_compute` calls so callers (benchmarks, the CLI) can
     report cache effectiveness.
+
+    Example — the second identical request is a file load, not a
+    recompute::
+
+        >>> import tempfile
+        >>> from repro.ansatz import QaoaAnsatz
+        >>> from repro.landscape import LandscapeGenerator, cost_function, qaoa_grid
+        >>> from repro.problems import random_3_regular_maxcut
+        >>> from repro.service import LandscapeStore
+        >>> ansatz = QaoaAnsatz(random_3_regular_maxcut(4, seed=0), p=1)
+        >>> root = tempfile.mkdtemp()
+        >>> store = LandscapeStore(root)
+        >>> generator = LandscapeGenerator(
+        ...     cost_function(ansatz), qaoa_grid(p=1, resolution=(4, 8)), store=store
+        ... )
+        >>> first = generator.grid_search()    # miss: computes + persists
+        >>> second = generator.grid_search()   # hit: loads the artifact
+        >>> (store.hits, store.misses)
+        (1, 1)
+        >>> bool((first.values == second.values).all())
+        True
     """
 
     def __init__(self, root: str | Path, max_bytes: int | None = None):
@@ -390,6 +425,20 @@ class LandscapeStore:
     def total_bytes(self) -> int:
         """Total payload bytes currently cached."""
         return sum(entry.payload_bytes for entry in self.entries())
+
+    def stats(self) -> dict[str, Any]:
+        """A JSON-able summary of the store (for ``cache stats`` / the
+        daemon's ``stats`` op): root, entry count, payload bytes, byte
+        budget, and this instance's hit/miss counters."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "payload_bytes": sum(entry.payload_bytes for entry in entries),
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
     def _evict(self, exempt: str) -> None:
         if self.max_bytes is None:

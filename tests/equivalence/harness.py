@@ -110,12 +110,66 @@ def sharded_engine(
     return executor.run_ansatz(ansatz, batch, noise=noise, shots=shots, rng=rng)
 
 
+#: Lazily-started shared daemon backing :func:`daemon_engine` (one per
+#: test process; torn down atexit).
+_DAEMON_RUNTIME: dict = {}
+
+
+def _daemon_client():
+    """The shared daemon-backed client, starting the daemon on first use.
+
+    The daemon runs on a background thread of this process (workers=1,
+    two-point shards — the same parity configuration as
+    :func:`sharded_engine`, plus the full socket/pickle round trip).
+    ``fallback=False`` so a dead daemon fails the matrix loudly instead
+    of silently passing via local computation.
+    """
+    if "client" not in _DAEMON_RUNTIME:
+        import atexit
+        import tempfile
+        from pathlib import Path
+
+        from repro.service.client import LandscapeClient
+        from repro.service.daemon import LandscapeDaemon
+
+        root = Path(tempfile.mkdtemp(prefix="oscar-eqd-"))
+        daemon = LandscapeDaemon(root / "daemon.sock", workers=1, shard_points=2)
+        daemon.start()
+        atexit.register(daemon.close)
+        _DAEMON_RUNTIME["daemon"] = daemon
+        _DAEMON_RUNTIME["client"] = LandscapeClient(
+            daemon.socket_path, fallback=False
+        )
+    return _DAEMON_RUNTIME["client"]
+
+
+def daemon_engine(
+    ansatz: Ansatz,
+    batch: np.ndarray,
+    noise=None,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """The landscape daemon's ``evaluate`` op (socket round trip).
+
+    The caller's ``rng`` is pickled to the daemon, consumed by its
+    executor (parity mode: workers=1, two-point shards), and its final
+    state is written back — so this engine must match the serial loop
+    in both values and rng stream position, proving the wire protocol
+    itself preserves the cross-engine contract.
+    """
+    return _daemon_client().evaluate_ansatz(
+        ansatz, batch, noise=noise, shots=shots, rng=rng
+    )
+
+
 #: Engine registry: name -> evaluation function.  ``REFERENCE_ENGINE``
 #: is what every other entry is pinned against.
 ENGINES: dict[str, EngineFn] = {
     "serial": serial_engine,
     "batched": batched_engine,
     "sharded": sharded_engine,
+    "daemon": daemon_engine,
 }
 REFERENCE_ENGINE = "serial"
 

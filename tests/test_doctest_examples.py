@@ -1,0 +1,20 @@
+"""Tier-1 guard for the runnable docstring examples.
+
+The ``>>>`` examples on the public entry points (see
+``tools/run_doctests.py``) are part of the documentation surface; this
+test keeps them green in the main suite, and the docs CI job runs the
+same script standalone.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+
+import run_doctests  # noqa: E402 - needs the tools/ path above
+
+
+def test_documented_entry_points_doctests_pass():
+    assert run_doctests.run(list(run_doctests.DOCUMENTED_MODULES)) == 0

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo's documentation surface.
+
+Walks the given markdown files/directories, extracts inline links and
+images (``[text](target)``), and verifies that every **relative** link
+resolves to a real file (anchors are checked against the target file's
+headings).  External ``http(s)``/``mailto`` links are only validated
+syntactically — CI must not depend on third-party uptime.
+
+Usage::
+
+    python tools/check_links.py README.md docs src/repro/service/README.md
+
+Exits non-zero listing every broken link, so the docs job fails when a
+rename or deletion orphans a reference.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images; deliberately simple — our docs do not
+#: use reference-style links or angle-bracket targets.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_PATTERN = re.compile(r"^(https?|mailto|ftp):")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchor slugs of a markdown file's headings."""
+    anchors = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = re.match(r"^#{1,6}\s+(.*)$", line)
+        if not match:
+            continue
+        slug = match.group(1).strip().lower()
+        slug = re.sub(r"[`*_~]", "", slug)
+        slug = re.sub(r"[^\w\- ]", "", slug)
+        anchors.add(slug.replace(" ", "-"))
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken links in one markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if EXTERNAL_PATTERN.match(target):
+            continue  # syntactic presence is all we require offline
+        target, _, fragment = target.partition("#")
+        if not target:  # pure in-page anchor
+            if fragment and fragment.lower() not in heading_anchors(path):
+                problems.append(f"{path}: missing anchor #{fragment}")
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment.lower() not in heading_anchors(resolved):
+                problems.append(
+                    f"{path}: missing anchor -> {target}#{fragment}"
+                )
+    return problems
+
+
+def main(arguments: list[str]) -> int:
+    """Check every markdown file under the given paths."""
+    if not arguments:
+        print(__doc__)
+        return 2
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"checked {len(files)} file(s): {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

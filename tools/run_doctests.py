@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Run ``python -m doctest`` over the documented public entry points.
+
+The docs CI job (and ``tests/test_doctest_examples.py``) executes this
+so the ``>>>`` examples in the docstrings — the quickstart surface of
+the public API — stay runnable instead of rotting.  Modules are
+imported and fed to :func:`doctest.testmod` (the file-path form of
+``python -m doctest`` cannot resolve the package's relative imports).
+
+Usage::
+
+    PYTHONPATH=src python tools/run_doctests.py [module ...]
+
+With no arguments, the curated module list below (every module that
+carries ``>>>`` examples) is used.  Exits non-zero on any failure and
+on a curated module that no longer contains any doctests (so silently
+deleting the examples also fails the job).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import sys
+
+#: Every module carrying runnable ``>>>`` examples.  Extend this list
+#: when adding examples to a new module.
+DOCUMENTED_MODULES = (
+    "repro.ansatz.base",
+    "repro.landscape.generator",
+    "repro.service.client",
+    "repro.service.shards",
+    "repro.service.store",
+)
+
+
+def run(module_names: list[str]) -> int:
+    """Doctest every named module; returns a process exit code."""
+    failures = 0
+    for name in module_names:
+        module = importlib.import_module(name)
+        result = doctest.testmod(module, verbose=False)
+        status = "ok" if result.failed == 0 else "FAILED"
+        print(
+            f"{name}: {result.attempted} examples, "
+            f"{result.failed} failures [{status}]"
+        )
+        if result.attempted == 0:
+            print(f"{name}: expected runnable >>> examples, found none")
+            failures += 1
+        failures += result.failed
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    names = sys.argv[1:] or list(DOCUMENTED_MODULES)
+    sys.exit(run(names))
