@@ -17,7 +17,13 @@ Two evaluation granularities are exposed:
   per-row excitation stacks) while preserving the loop's semantics,
   including rng draw order.  ``noise`` may also be a per-row sequence,
   which is how batched ZNE folds its scale factors into the batch axis
-  (see :class:`repro.mitigation.zne.ZneCostFunction`).
+  (see :class:`repro.mitigation.zne.ZneCostFunction`).  Noisy
+  Two-local/UCCSD rows run vectorized too, on the batched density
+  engine (:meth:`Ansatz._density_many` over a
+  :class:`~repro.quantum.batched_density.BatchedDensityMatrix` with
+  per-row noise models); :meth:`Ansatz.batch_capacity` tells the
+  landscape layer how far the ``4**n``-per-row memory cost shrinks a
+  chunk.
 """
 
 from __future__ import annotations
@@ -27,6 +33,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..quantum.batched import default_batch_size
+from ..quantum.batched_density import (
+    BatchedDensityMatrix,
+    default_density_batch_size,
+)
 from ..quantum.circuit import QuantumCircuit
 from ..quantum.noise import NoiseModel
 from ..quantum.statevector import Statevector
@@ -50,6 +61,19 @@ class Ansatz(abc.ABC):
     num_parameters: int
     #: circuit width
     num_qubits: int
+
+    #: How noisy rows are simulated: ``"serial"`` (the generic
+    #: per-row loop), ``"density"`` (the batched density engine via
+    #: :meth:`_density_many` — Two-local/UCCSD), or ``"contraction"``
+    #: (QAOA's analytic global-depolarizing factor).  Drives
+    #: :meth:`batch_capacity`'s memory model.
+    noisy_engine: str = "serial"
+
+    #: Override for the rows-per-chunk of :meth:`_density_many`;
+    #: ``None`` picks the memory-capped
+    #: :func:`~repro.quantum.batched_density.default_density_batch_size`.
+    #: The equivalence harness pins this to force genuine chunk splits.
+    density_batch_rows: int | None = None
 
     @staticmethod
     def validate_sampler(sampler: str) -> str:
@@ -215,25 +239,30 @@ class Ansatz(abc.ABC):
         shots: int | None,
         rng: np.random.Generator | None,
         ideal_many: "Callable[[np.ndarray], np.ndarray]",
-        noisy_one: "Callable[[np.ndarray, NoiseModel], float]",
+        noisy_many: "Callable[[np.ndarray, list[NoiseModel]], np.ndarray]",
     ) -> np.ndarray:
         """Shared scaffold for native batched paths with per-row noise.
 
         Ideal rows are evaluated in one vectorized ``ideal_many`` call,
-        noisy rows route through the per-row ``noisy_one`` engine, and
-        shot noise is drawn afterwards one row at a time in batch order
-        — the rng contract that keeps a seeded serial loop over
-        :meth:`expectation` reproducing the batch draw for draw.
-        Subclasses using this must define ``_shot_scale()`` (the
-        per-shot standard-deviation bound of their estimator).
+        noisy rows in one vectorized ``noisy_many(rows, models)`` call
+        (typically :meth:`_density_many`), and shot noise is drawn
+        afterwards one row at a time in batch order — the rng contract
+        that keeps a seeded serial loop over :meth:`expectation`
+        reproducing the batch draw for draw.  Subclasses using this
+        must define ``_shot_scale()`` (the per-shot standard-deviation
+        bound of their estimator).
         """
         noisy = self._noisy_mask(noise_rows)
         values = np.empty(batch.shape[0])
         ideal_indices = np.flatnonzero(~noisy)
         if ideal_indices.size:
             values[ideal_indices] = ideal_many(batch[ideal_indices])
-        for index in np.flatnonzero(noisy):
-            values[index] = noisy_one(batch[index], noise_rows[index])
+        noisy_indices = np.flatnonzero(noisy)
+        if noisy_indices.size:
+            values[noisy_indices] = noisy_many(
+                batch[noisy_indices],
+                [noise_rows[index] for index in noisy_indices],
+            )
         if shots is None:
             return values
         rng = ensure_rng(rng)
@@ -242,6 +271,84 @@ class Ansatz(abc.ABC):
         # bitstream for normal(size=B) as for B sequential scalar
         # draws, so row-order parity with the serial loop is preserved.
         return values + rng.normal(0.0, sigma, size=batch.shape[0])
+
+    def _density_many(
+        self, batch: np.ndarray, models: "list[NoiseModel]"
+    ) -> np.ndarray:
+        """Noisy rows through the batched density engine, chunked.
+
+        Builds each row's bound circuit and replays the chunk as one
+        :class:`~repro.quantum.batched_density.BatchedDensityMatrix`
+        with per-row noise models; expectations are extracted by the
+        :meth:`_density_expectations` hook the ansatz supplies.  Chunk
+        size defaults to the memory-capped
+        :func:`~repro.quantum.batched_density.default_density_batch_size`
+        (``4**n`` entries per row) and can be pinned via
+        :attr:`density_batch_rows`.
+        """
+        chunk = self.density_batch_rows or default_density_batch_size(
+            self.num_qubits
+        )
+        values = np.empty(batch.shape[0])
+        for start in range(0, batch.shape[0], chunk):
+            rows = batch[start : start + chunk]
+            chunk_models = models[start : start + chunk]
+            rho = BatchedDensityMatrix(
+                self.num_qubits, batch_size=rows.shape[0]
+            )
+            rho.evolve_circuits(
+                [self.circuit(row) for row in rows], chunk_models
+            )
+            values[start : start + rows.shape[0]] = self._density_expectations(
+                rho, chunk_models
+            )
+        return values
+
+    def _density_expectations(
+        self, rho: BatchedDensityMatrix, models: "list[NoiseModel]"
+    ) -> np.ndarray:
+        """Per-row observable values of an evolved noisy density stack.
+
+        Required by :meth:`_density_many`; ansatzes routing noisy rows
+        through the batched density engine override it (diagonal vs
+        dense-matrix observable, readout handling).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not extract observables from "
+            "the batched density engine"
+        )
+
+    def batch_capacity(
+        self, noise: NoiseModel | Sequence[NoiseModel | None] | None = None
+    ) -> int:
+        """Memory-capped execution rows per chunk for a noise spec.
+
+        Ideal batches are bounded by the statevector entry budget
+        (``2**n`` entries per row); when any row is noisy and this
+        ansatz simulates noisy rows on the batched density engine
+        (:attr:`noisy_engine` ``== "density"``), each row holds
+        ``4**n`` entries and the cap shrinks to
+        :func:`~repro.quantum.batched_density.default_density_batch_size`.
+        The landscape layer consults this through the cost functions'
+        ``batch_capacity`` hooks
+        (:func:`repro.landscape.generator.resolve_batch_size`).
+        """
+        if self.noisy_engine == "density" and self._any_noisy(noise):
+            return default_density_batch_size(self.num_qubits)
+        return default_batch_size(self.num_qubits)
+
+    @staticmethod
+    def _any_noisy(
+        noise: NoiseModel | Sequence[NoiseModel | None] | None,
+    ) -> bool:
+        """Whether a shared-or-per-row noise spec has any non-ideal row."""
+        if noise is None:
+            return False
+        if isinstance(noise, NoiseModel):
+            return not noise.is_ideal
+        return any(
+            model is not None and not model.is_ideal for model in noise
+        )
 
     @staticmethod
     def _noisy_mask(noise_rows: list[NoiseModel | None]) -> np.ndarray:

@@ -52,6 +52,10 @@ __all__ = ["QaoaAnsatz"]
 class QaoaAnsatz(Ansatz):
     """Depth-``p`` QAOA for a diagonal Ising cost Hamiltonian."""
 
+    #: Noisy rows use the analytic global-depolarizing contraction (no
+    #: density matrices), so noise never shrinks the batch capacity.
+    noisy_engine = "contraction"
+
     def __init__(self, problem: IsingProblem, p: int = 1):
         if p < 1:
             raise ValueError("QAOA depth p must be >= 1")

@@ -25,7 +25,10 @@ same gate sequence on a
 :class:`~repro.quantum.batched.BatchedStatevector`: singles become
 per-row ``(B, 4, 4)`` RXX/RYY stacks, doubles keep their shared
 basis-change/CX frame around one per-row RZ stack, so the Table 3
-slice grids run vectorized instead of a circuit per point.
+slice grids run vectorized instead of a circuit per point.  Noisy rows
+run vectorized too, replayed on a
+:class:`~repro.quantum.batched_density.BatchedDensityMatrix` with
+per-row noise models — see :meth:`~repro.ansatz.base.Ansatz._density_many`.
 """
 
 from __future__ import annotations
@@ -72,6 +75,10 @@ def default_excitations(num_qubits: int, num_parameters: int) -> list[tuple[int,
 
 class UccsdAnsatz(Ansatz):
     """Trotterised UCCSD-style ansatz over configurable excitations."""
+
+    #: Noisy rows run on the batched density engine (see
+    #: :meth:`~repro.ansatz.base.Ansatz.batch_capacity`).
+    noisy_engine = "density"
 
     def __init__(
         self,
@@ -214,10 +221,13 @@ class UccsdAnsatz(Ansatz):
         """Vectorized :meth:`expectation` over a parameter batch.
 
         Ideal rows ride the native batched statevector path; noisy rows
-        keep the exact density-matrix engine per row, like the serial
-        loop.  Shot noise is drawn one row at a time in batch order, so
-        a serial loop over :meth:`expectation` with the same generator
-        sees identical draws.  ``sampler`` is accepted for interface
+        ride the batched density engine — one
+        :class:`~repro.quantum.batched_density.BatchedDensityMatrix`
+        replay per memory-capped chunk with per-row noise models,
+        matching the serial loop's values to machine precision.  Shot
+        noise is drawn one row at a time in batch order, so a serial
+        loop over :meth:`expectation` with the same generator sees
+        identical draws.  ``sampler`` is accepted for interface
         uniformity but is a no-op here: the Gaussian shot model is
         already one vectorized draw block.
         """
@@ -232,10 +242,17 @@ class UccsdAnsatz(Ansatz):
             ideal_many=lambda rows: self.statevector_many(
                 rows
             ).expectation_matrix(self._observable_matrix()),
-            noisy_one=lambda parameters, model: simulate_density(
-                self.circuit(parameters), model
-            ).expectation_matrix(self._observable_matrix()),
+            noisy_many=self._density_many,
         )
+
+    def _density_expectations(self, rho, models) -> np.ndarray:
+        """Per-row ``Tr(rho H)`` of a noisy density stack.
+
+        The molecular Hamiltonians are dense matrices, so readout error
+        plays no role here — exactly like the serial noisy path.
+        """
+        del models
+        return rho.expectation_matrix(self._observable_matrix())
 
     def _shot_scale(self) -> float:
         """Crude per-shot standard-deviation bound: sum of |coeffs|."""

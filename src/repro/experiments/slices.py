@@ -105,6 +105,14 @@ class SliceCostFunction:
         """Width of the underlying circuit (drives batch sizing)."""
         return self.ansatz.num_qubits
 
+    def batch_capacity(self) -> int:
+        """Memory-capped execution rows per chunk (noise-engine aware).
+
+        Noisy slices on density-engine ansatzes (the Tables 2-3 noisy
+        protocol) chunk to the ``4**n``-per-row density budget.
+        """
+        return self.ansatz.batch_capacity(self.noise)
+
     def _embed(self, slice_points: np.ndarray) -> np.ndarray:
         """Expand ``(m, 2)`` slice points into full parameter vectors."""
         full = np.tile(self.spec.fixed_values, (slice_points.shape[0], 1))

@@ -69,18 +69,26 @@ CostFunction = Callable[[np.ndarray], float]
 def resolve_batch_size(function: CostFunction, batch_size: int | None) -> int:
     """Points per vectorized pass for a cost function.
 
-    ``None`` picks a memory-capped default from the function's qubit
-    count (:func:`~repro.quantum.batched.default_batch_size`), divided
-    by its ``rows_per_point`` when each landscape point fans out into
-    several execution rows (batched ZNE).  An explicit value always
-    counts *points*.
+    ``None`` asks the function itself via its ``batch_capacity()`` hook
+    when it has one (every ansatz-backed cost function does — it is
+    noise-engine aware, so noisy Two-local/UCCSD grids shrink to the
+    density engine's ``4**n``-per-row budget), else falls back to the
+    statevector default from the function's qubit count
+    (:func:`~repro.quantum.batched.default_batch_size`).  Either
+    capacity is divided by ``rows_per_point`` when each landscape point
+    fans out into several execution rows (batched ZNE).  An explicit
+    value always counts *points*.
     """
     if batch_size is not None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         return int(batch_size)
     rows = max(1, int(getattr(function, "rows_per_point", 1)))
-    capacity = default_batch_size(getattr(function, "num_qubits", None))
+    capacity_hook = getattr(function, "batch_capacity", None)
+    if capacity_hook is not None:
+        capacity = int(capacity_hook())
+    else:
+        capacity = default_batch_size(getattr(function, "num_qubits", None))
     return max(1, capacity // rows)
 
 
@@ -149,6 +157,15 @@ class AnsatzCostFunction:
     def num_qubits(self) -> int:
         """Width of the underlying circuit (drives batch sizing)."""
         return self.ansatz.num_qubits
+
+    def batch_capacity(self) -> int:
+        """Memory-capped execution rows per chunk (noise-engine aware).
+
+        Delegates to :meth:`~repro.ansatz.base.Ansatz.batch_capacity`,
+        so noisy grids on density-engine ansatzes get the smaller
+        ``4**n``-per-row chunking automatically.
+        """
+        return self.ansatz.batch_capacity(self.noise)
 
     def __call__(self, parameters: np.ndarray) -> float:
         """Cost value at one parameter point."""

@@ -194,6 +194,14 @@ class CdrCostFunction:
         """Width of the underlying circuit (drives batch sizing)."""
         return self.model.ansatz.num_qubits
 
+    def batch_capacity(self) -> int:
+        """Memory-capped execution rows per chunk (noise-engine aware).
+
+        Every production query runs under the trained noise model, so
+        density-engine ansatzes report the ``4**n``-per-row budget.
+        """
+        return self.model.ansatz.batch_capacity(self.model.noise)
+
     def __call__(self, parameters: np.ndarray) -> float:
         """CDR-mitigated cost at one parameter point."""
         return self.model.mitigated_expectation(

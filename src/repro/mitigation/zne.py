@@ -284,6 +284,16 @@ class ZneCostFunction:
         """Execution-batch rows consumed per landscape point."""
         return len(self.config.scale_factors)
 
+    def batch_capacity(self) -> int:
+        """Memory-capped execution rows per chunk (noise-engine aware).
+
+        Evaluated against the *scaled* noise models the fold actually
+        executes, so density-engine ansatzes report the ``4**n``-per-row
+        budget; :func:`repro.landscape.generator.resolve_batch_size`
+        further divides by :attr:`rows_per_point`.
+        """
+        return self.ansatz.batch_capacity(self._scaled)
+
     def __call__(self, parameters: np.ndarray) -> float:
         """ZNE-mitigated cost at one parameter point."""
         return zne_expectation(

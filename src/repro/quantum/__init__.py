@@ -10,11 +10,14 @@ OSCAR implementation with a self-contained simulator stack:
 - :mod:`~repro.quantum.batched` — batched pure-state engine (many
   parameter bindings per vectorized pass),
 - :mod:`~repro.quantum.density` — exact noisy engine (Kraus channels),
+- :mod:`~repro.quantum.batched_density` — batched exact noisy engine
+  (many noisy rows per vectorized pass, per-row noise models),
 - :mod:`~repro.quantum.trajectories` — scalable Monte-Carlo noisy engine,
 - :mod:`~repro.quantum.noise` — depolarizing/readout noise models.
 """
 
 from .batched import BatchedStatevector, default_batch_size
+from .batched_density import BatchedDensityMatrix, default_density_batch_size
 from .circuit import CircuitError, Instruction, QuantumCircuit
 from .density import DensityMatrix, simulate_density
 from .noise import IDEAL, NoiseModel, global_depolarizing_factor
@@ -25,6 +28,8 @@ from .trajectories import trajectory_expectation_diagonal
 __all__ = [
     "BatchedStatevector",
     "default_batch_size",
+    "BatchedDensityMatrix",
+    "default_density_batch_size",
     "CircuitError",
     "Instruction",
     "QuantumCircuit",

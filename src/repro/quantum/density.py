@@ -6,6 +6,13 @@ is supplied, follows it with the corresponding depolarizing channel on
 the touched qubits.  Memory is ``O(4**n)`` so it is intended for the
 small-n experiments (Tables 2-3 run at 4-6 qubits) and as the oracle
 that the scalable trajectory simulator is validated against.
+
+Operator application delegates to the local-contraction kernels shared
+with :class:`~repro.quantum.batched_density.BatchedDensityMatrix`
+(``B = 1``): a gate on ``k`` qubits is two rank-``2n`` tensor
+contractions instead of a full ``2**n x 2**n`` embedding, so the serial
+oracle is ``O(4**n)`` per gate rather than ``O(8**n)`` — same values,
+one shared implementation.
 """
 
 from __future__ import annotations
@@ -14,12 +21,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .batched_density import apply_kraus_stack, conjugate_stack
 from .circuit import QuantumCircuit
 from .noise import (
     NoiseModel,
     apply_readout_noise_to_probabilities,
-    depolarizing_kraus,
-    two_qubit_depolarizing_kraus,
+    kraus_stack,
 )
 from .parameters import Parameter
 
@@ -61,67 +68,33 @@ class DensityMatrix:
 
     def purity(self) -> float:
         """``Tr(rho^2)``; 1 for pure states, 1/2**n for maximally mixed."""
-        return float(np.real(np.trace(self._data @ self._data)))
+        return float(np.real(np.sum(self._data * self._data.T)))
 
-    # -- operator embedding ---------------------------------------------
-
-    def _embed(self, matrix: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
-        """Expand a small operator on ``qubits`` to the full Hilbert space.
-
-        ``matrix`` is interpreted with the first operand as the low index
-        bit when ``len(qubits) == 1`` and in ``|q1 q0>`` order for pairs,
-        matching :mod:`repro.quantum.gates`.
-        """
-        n = self.num_qubits
-        dim = 1 << n
-        if len(qubits) == 1:
-            (qubit,) = qubits
-            full = np.ones(1, dtype=complex)
-            # Build via tensor reshaping: act on the qubit axis directly.
-            op = np.eye(dim, dtype=complex).reshape([2] * n + [2] * n)
-            # Cheaper: construct by kron products in qubit order n-1..0.
-            full = np.array([[1.0]], dtype=complex)
-            for position in range(n - 1, -1, -1):
-                full = np.kron(full, matrix if position == qubit else np.eye(2))
-            return full
-        if len(qubits) == 2:
-            q0, q1 = qubits  # q1 high bit, q0 low bit in `matrix`
-            tensor = matrix.reshape(2, 2, 2, 2)  # (q1', q0', q1, q0)
-            full = np.zeros((dim, dim), dtype=complex)
-            others = [q for q in range(n) if q not in (q0, q1)]
-            for b1 in range(2):
-                for b0 in range(2):
-                    for a1 in range(2):
-                        for a0 in range(2):
-                            amplitude = tensor[b1, b0, a1, a0]
-                            if amplitude == 0:
-                                continue
-                            # All basis pairs differing only on q0/q1.
-                            base = np.arange(1 << len(others))
-                            row = np.zeros_like(base)
-                            col = np.zeros_like(base)
-                            for bit_position, qubit in enumerate(others):
-                                bit = (base >> bit_position) & 1
-                                row |= bit << qubit
-                                col |= bit << qubit
-                            row_idx = row | (b1 << q1) | (b0 << q0)
-                            col_idx = col | (a1 << q1) | (a0 << q0)
-                            full[row_idx, col_idx] += amplitude
-            return full
-        raise ValueError(f"unsupported operator arity {len(qubits)}")
+    # -- channel application --------------------------------------------
 
     def apply_unitary(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
-        """Conjugate the state by an embedded unitary."""
-        full = self._embed(matrix, qubits)
-        self._data = full @ self._data @ full.conj().T
+        """Conjugate the state by a local unitary.
 
-    def apply_kraus(self, kraus_operators: Sequence[np.ndarray], qubits: Sequence[int]) -> None:
+        ``matrix`` is interpreted with the first operand as the low
+        index bit when ``len(qubits) == 1`` and in ``|q1 q0>`` order for
+        pairs (``qubits[1]`` high bit), matching
+        :mod:`repro.quantum.gates`.  Applied as two local tensor
+        contractions — the operator is never embedded into the full
+        Hilbert space.
+        """
+        matrix = np.asarray(matrix, dtype=complex)
+        self._data = conjugate_stack(
+            self._data[None], matrix, tuple(qubits), self.num_qubits
+        )[0]
+
+    def apply_kraus(
+        self, kraus_operators: Sequence[np.ndarray], qubits: Sequence[int]
+    ) -> None:
         """Apply a quantum channel given by local Kraus operators."""
-        total = np.zeros_like(self._data)
-        for kraus in kraus_operators:
-            full = self._embed(kraus, qubits)
-            total += full @ self._data @ full.conj().T
-        self._data = total
+        stack = np.asarray(kraus_operators, dtype=complex)
+        self._data = apply_kraus_stack(
+            self._data[None], stack, tuple(qubits), self.num_qubits
+        )[0]
 
     def evolve(
         self,
@@ -129,7 +102,12 @@ class DensityMatrix:
         noise: NoiseModel | None = None,
         bindings: Mapping[Parameter, float] | None = None,
     ) -> "DensityMatrix":
-        """Apply the circuit, inserting noise channels after each gate."""
+        """Apply the circuit, inserting noise channels after each gate.
+
+        Channel operator lists come from the per-(kind, probability)
+        cache (:func:`repro.quantum.noise.kraus_stack`), so repeated
+        gates at the same error rate share one stack.
+        """
         noise = noise or NoiseModel()
         for name, qubits, matrix in circuit.resolved_operations(
             dict(bindings) if bindings else None
@@ -141,10 +119,12 @@ class DensityMatrix:
             self.apply_unitary(matrix, operands)
             probability = noise.error_probability(len(qubits))
             if probability > 0.0:
-                if len(qubits) == 1:
-                    self.apply_kraus(depolarizing_kraus(probability), operands)
-                else:
-                    self.apply_kraus(two_qubit_depolarizing_kraus(probability), operands)
+                kind = (
+                    "depolarizing"
+                    if len(qubits) == 1
+                    else "two_qubit_depolarizing"
+                )
+                self.apply_kraus(kraus_stack(kind, probability), operands)
         return self
 
     # -- measurement -----------------------------------------------------
@@ -167,8 +147,14 @@ class DensityMatrix:
         return float(np.dot(self.probabilities(readout_error), diagonal_values))
 
     def expectation_matrix(self, observable: np.ndarray) -> float:
-        """``Tr(rho O)`` for a dense Hermitian observable."""
-        return float(np.real(np.trace(self._data @ observable)))
+        """``Tr(rho O)`` for a dense Hermitian observable.
+
+        ``Tr(rho O) = sum_ij rho_ij O_ji``, computed as one ``O(4**n)``
+        elementwise sum — a full ``rho @ O`` matmul would cost
+        ``O(8**n)`` to produce off-diagonal entries the trace discards.
+        """
+        observable = np.asarray(observable)
+        return float(np.real(np.sum(self._data * observable.T)))
 
 
 def simulate_density(

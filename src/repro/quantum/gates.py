@@ -40,10 +40,12 @@ __all__ = [
     "rxx",
     "ryy",
     "rzz",
+    "rx_many",
     "ry_many",
     "rz_many",
     "rxx_many",
     "ryy_many",
+    "rzz_many",
     "crx",
     "cry",
     "crz",
@@ -52,6 +54,7 @@ __all__ = [
     "is_unitary",
     "is_hermitian",
     "gate_matrix",
+    "gate_matrix_many",
     "PAULI_MATRICES",
 ]
 
@@ -153,6 +156,18 @@ def rzz(theta: float) -> np.ndarray:
     return np.diag([phase, conj, conj, phase]).astype(complex)
 
 
+def rx_many(thetas: np.ndarray) -> np.ndarray:
+    """``(B, 2, 2)`` stack of :func:`rx` matrices, one per angle."""
+    thetas = np.asarray(thetas, dtype=float)
+    c, s = np.cos(thetas / 2.0), np.sin(thetas / 2.0)
+    stack = np.empty(thetas.shape + (2, 2), dtype=complex)
+    stack[..., 0, 0] = c
+    stack[..., 0, 1] = -1j * s
+    stack[..., 1, 0] = -1j * s
+    stack[..., 1, 1] = c
+    return stack
+
+
 def ry_many(thetas: np.ndarray) -> np.ndarray:
     """``(B, 2, 2)`` stack of :func:`ry` matrices, one per angle.
 
@@ -201,6 +216,18 @@ def rxx_many(thetas: np.ndarray) -> np.ndarray:
 def ryy_many(thetas: np.ndarray) -> np.ndarray:
     """``(B, 4, 4)`` stack of :func:`ryy` matrices, one per angle."""
     return _two_qubit_pauli_rotation_many(np.kron(Y, Y), thetas)
+
+
+def rzz_many(thetas: np.ndarray) -> np.ndarray:
+    """``(B, 4, 4)`` stack of :func:`rzz` matrices, one per angle."""
+    thetas = np.asarray(thetas, dtype=float)
+    phase = np.exp(-0.5j * thetas)
+    stack = np.zeros(thetas.shape + (4, 4), dtype=complex)
+    stack[..., 0, 0] = phase
+    stack[..., 1, 1] = np.conj(phase)
+    stack[..., 2, 2] = np.conj(phase)
+    stack[..., 3, 3] = phase
+    return stack
 
 
 def controlled(unitary: np.ndarray) -> np.ndarray:
@@ -285,6 +312,16 @@ _PARAMETRIC_GATES = {
 }
 
 
+_PARAMETRIC_GATES_MANY = {
+    "rx": rx_many,
+    "ry": ry_many,
+    "rz": rz_many,
+    "rxx": rxx_many,
+    "ryy": ryy_many,
+    "rzz": rzz_many,
+}
+
+
 def gate_matrix(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
     """Resolve a gate name (and bound parameters) to its unitary matrix.
 
@@ -301,3 +338,21 @@ def gate_matrix(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
     if key in _PARAMETRIC_GATES:
         return _PARAMETRIC_GATES[key](*params)
     raise KeyError(f"unknown gate {name!r}")
+
+
+def gate_matrix_many(
+    name: str, params_rows: "list[tuple[float, ...]]"
+) -> np.ndarray:
+    """``(B, d, d)`` stack of one parametric gate across per-row bindings.
+
+    Single-angle rotations vectorize through their ``*_many``
+    constructors; other parametric gates fall back to stacking
+    :func:`gate_matrix` per row.  This is what lets batched circuit
+    replay resolve a parameterized position for a whole batch without a
+    per-row Python matrix build.
+    """
+    key = name.lower()
+    many = _PARAMETRIC_GATES_MANY.get(key)
+    if many is not None and all(len(params) == 1 for params in params_rows):
+        return many(np.array([params[0] for params in params_rows]))
+    return np.stack([gate_matrix(name, params) for params in params_rows])

@@ -32,6 +32,8 @@ __all__ = [
     "two_qubit_depolarizing_kraus",
     "amplitude_damping_kraus",
     "phase_damping_kraus",
+    "kraus_stack",
+    "kraus_superop",
     "global_depolarizing_factor",
     "readout_confusion_matrix",
     "apply_readout_noise_to_probabilities",
@@ -100,6 +102,72 @@ def phase_damping_kraus(lam: float) -> list[np.ndarray]:
     k0 = np.array([[1.0, 0.0], [0.0, math.sqrt(1.0 - lam)]], dtype=complex)
     k1 = np.array([[0.0, 0.0], [0.0, math.sqrt(lam)]], dtype=complex)
     return [k0, k1]
+
+
+#: Channel builders addressable by :func:`kraus_stack`.
+_KRAUS_BUILDERS = {
+    "depolarizing": depolarizing_kraus,
+    "two_qubit_depolarizing": two_qubit_depolarizing_kraus,
+    "amplitude_damping": amplitude_damping_kraus,
+    "phase_damping": phase_damping_kraus,
+}
+
+#: (channel kind, probability) -> read-only ``(K, d, d)`` Kraus stack.
+_KRAUS_STACKS: dict[tuple[str, float], np.ndarray] = {}
+
+
+def kraus_stack(kind: str, probability: float) -> np.ndarray:
+    """Cached, read-only ``(K, d, d)`` Kraus stack for a channel.
+
+    The density engines apply the same channel after every gate of a
+    circuit (and across every row of a batch), so the operator lists
+    are memoized per ``(kind, probability)`` — the channel analogue of
+    the per-(ansatz, noise) depolarizing-contraction cache in
+    :class:`repro.ansatz.qaoa.QaoaAnsatz`.  ``kind`` is one of
+    ``"depolarizing"``, ``"two_qubit_depolarizing"``,
+    ``"amplitude_damping"``, ``"phase_damping"``.  The returned array
+    is marked read-only; callers must not mutate it.
+    """
+    key = (kind, float(probability))
+    stack = _KRAUS_STACKS.get(key)
+    if stack is None:
+        builder = _KRAUS_BUILDERS.get(kind)
+        if builder is None:
+            raise ValueError(
+                f"unknown channel kind {kind!r}; "
+                f"choose from {sorted(_KRAUS_BUILDERS)}"
+            )
+        stack = np.stack(builder(key[1])).astype(complex)
+        stack.setflags(write=False)
+        _KRAUS_STACKS[key] = stack
+    return stack
+
+
+#: (channel kind, probability) -> read-only ``(d**2, d**2)`` superoperator.
+_KRAUS_SUPEROPS: dict[tuple[str, float], np.ndarray] = {}
+
+
+def kraus_superop(kind: str, probability: float) -> np.ndarray:
+    """Cached ``sum_k E_k (x) conj(E_k)`` superoperator for a channel.
+
+    Acting on the row-major vectorisation of a density matrix's local
+    block, one matmul with this ``(d**2, d**2)`` matrix applies the
+    whole channel — the form the batched density engine composes with
+    gate superoperators so each (gate, channel) pair costs a single
+    contraction pass.  Cached per ``(kind, probability)`` like
+    :func:`kraus_stack`; the returned array is read-only.
+    """
+    key = (kind, float(probability))
+    superop = _KRAUS_SUPEROPS.get(key)
+    if superop is None:
+        stack = kraus_stack(kind, key[1])
+        dim = stack.shape[-1]
+        superop = np.einsum("kim,kjl->ijml", stack, np.conj(stack)).reshape(
+            dim * dim, dim * dim
+        )
+        superop.setflags(write=False)
+        _KRAUS_SUPEROPS[key] = superop
+    return superop
 
 
 @dataclass(frozen=True)

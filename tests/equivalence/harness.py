@@ -87,6 +87,31 @@ def batched_engine(
     return ansatz.expectation_many(batch, noise=noise, shots=shots, rng=rng)
 
 
+def batched_density_engine(
+    ansatz: Ansatz,
+    batch: np.ndarray,
+    noise=None,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """The batched path with the density engine forced into tiny chunks.
+
+    Noisy Two-local/UCCSD rows run on
+    :class:`repro.quantum.batched_density.BatchedDensityMatrix`;
+    pinning ``density_batch_rows = 2`` forces every noisy batch through
+    genuine chunk splits (and, on mixed per-row noise, per-row Kraus
+    stacks) instead of one whole-batch pass.  QAOA cases pass through
+    their analytic contraction path untouched, pinning that the density
+    engine's registration did not disturb it.
+    """
+    original = ansatz.density_batch_rows
+    ansatz.density_batch_rows = 2
+    try:
+        return ansatz.expectation_many(batch, noise=noise, shots=shots, rng=rng)
+    finally:
+        ansatz.density_batch_rows = original
+
+
 def sharded_engine(
     ansatz: Ansatz,
     batch: np.ndarray,
@@ -168,6 +193,7 @@ def daemon_engine(
 ENGINES: dict[str, EngineFn] = {
     "serial": serial_engine,
     "batched": batched_engine,
+    "batched-density": batched_density_engine,
     "sharded": sharded_engine,
     "daemon": daemon_engine,
 }

@@ -100,6 +100,20 @@ def test_expectation_matrix_matches_trace_formula():
     assert rho.expectation_matrix(hermitian) == pytest.approx(expected)
 
 
+def test_expectation_matrix_complex_hermitian_regression():
+    """Regression for the O(8**n) matmul rewrite: Tr(rho @ O) must be
+    computed as sum(rho * O.T), which only agrees with the trace formula
+    when the transpose (not a conjugate) is taken — a complex Hermitian
+    observable with asymmetric imaginary parts distinguishes the two."""
+    qc = QuantumCircuit(3).h(0).cx(0, 1).rx(0.7, 2).rzz(0.3, 1, 2)
+    rho = simulate_density(qc, NoiseModel(p1=0.02, p2=0.05))
+    rng = np.random.default_rng(11)
+    matrix = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+    hermitian = matrix + matrix.conj().T
+    expected = np.real(np.trace(rho.data @ hermitian))
+    assert rho.expectation_matrix(hermitian) == pytest.approx(expected, abs=1e-12)
+
+
 def test_cx_convention_matches_statevector_engine():
     qc = QuantumCircuit(2)
     qc.x(0)
