@@ -10,6 +10,9 @@ code:
 - ``oscar-repro sparsity`` — print DCT sparsity for a problem family;
 - ``oscar-repro batch`` — reconstruct a whole sampling-fraction sweep
   in one batched engine pass (optionally timed against the serial loop);
+- ``oscar-repro pipeline`` — the one-request OSCAR pipeline: sample,
+  evaluate, reconstruct and optimize in a single daemon round-trip
+  (or the identical in-process sequence without ``--daemon``);
 - ``oscar-repro serve`` — run the landscape daemon (persistent worker
   pool + shared cache behind a Unix socket); ``--daemon`` on the other
   commands routes their landscape generation through it;
@@ -33,7 +36,9 @@ from .landscape import (
     cost_function,
     nrmse,
     qaoa_grid,
+    sample_and_evaluate,
 )
+from .optimizers import available_optimizers
 from .problems import random_3_regular_maxcut, sk_problem
 from .quantum import NoiseModel
 from .viz import render_side_by_side
@@ -237,6 +242,35 @@ def build_parser() -> argparse.ArgumentParser:
         "on this Unix socket (in-process fallback when absent)",
     )
     add_batch_size(batch)
+
+    pipe = sub.add_parser(
+        "pipeline",
+        help="one-request OSCAR pipeline: sample, evaluate, reconstruct "
+        "and optimize (server-side with --daemon)",
+    )
+    pipe.add_argument("--qubits", type=int, default=10)
+    pipe.add_argument("--problem", choices=("maxcut", "sk"), default="maxcut")
+    pipe.add_argument("--fraction", type=float, default=0.08)
+    pipe.add_argument("--resolution", type=int, nargs=2, default=(30, 60))
+    pipe.add_argument(
+        "--optimizer",
+        choices=available_optimizers(),
+        default="cobyla",
+        help="optimizer run on the reconstructed landscape surrogate",
+    )
+    pipe.add_argument(
+        "--sampler", choices=("uniform", "stratified"), default="uniform"
+    )
+    pipe.add_argument("--noisy", action="store_true", help="add depolarizing noise")
+    pipe.add_argument(
+        "--shots",
+        type=int,
+        default=None,
+        help="per-query measurement shots (default: exact expectations)",
+    )
+    pipe.add_argument("--seed", type=int, default=0)
+    add_batch_size(pipe)
+    add_service(pipe)
     return parser
 
 
@@ -444,10 +478,10 @@ def _command_batch(args: argparse.Namespace) -> int:
     )
     truth = generator.grid_search(label="grid-search")
     oscar = OscarReconstructor(grid, rng=args.seed)
-    sample_sets = []
-    for fraction in args.fractions:
-        indices = oscar.sample_indices(fraction)
-        sample_sets.append((indices, generator.evaluate_indices(indices)))
+    sample_sets = [
+        sample_and_evaluate(generator, oscar, fraction)
+        for fraction in args.fractions
+    ]
     start = time.perf_counter()
     reconstructions = oscar.reconstruct_many(sample_sets)
     batched_seconds = time.perf_counter() - start
@@ -471,6 +505,64 @@ def _command_batch(args: argparse.Namespace) -> int:
             f"serial loop:    {serial_seconds:.3f}s "
             f"({serial_seconds / max(batched_seconds, 1e-9):.1f}x slower)"
         )
+    return 0
+
+
+def _command_pipeline(args: argparse.Namespace) -> int:
+    from .service import PipelineConfig
+
+    problem = _problem(args.problem, args.qubits, args.seed)
+    ansatz = QaoaAnsatz(problem, p=1)
+    grid = qaoa_grid(p=1, resolution=tuple(args.resolution))
+    noise = NoiseModel(p1=0.003, p2=0.007) if args.noisy else None
+    rng = np.random.default_rng(args.seed) if args.shots is not None else None
+    generator = LandscapeGenerator(
+        cost_function(ansatz, noise=noise, shots=args.shots, rng=rng),
+        grid,
+        batch_size=args.batch_size,
+        workers=args.workers,
+        # Multiprocess (or cached/daemon-served) shot noise needs a
+        # seeding plan the cache key can record; exact runs stay
+        # plan-independent.
+        seed=args.seed
+        if (
+            args.shots is not None
+            and (args.workers > 1 or args.cache_dir or args.daemon)
+        )
+        else None,
+        store=_store(args),
+        daemon=args.daemon,
+    )
+    config = PipelineConfig(
+        fraction=args.fraction,
+        sampler=args.sampler,
+        optimizer=args.optimizer,
+    )
+    outcome = generator.run_pipeline(config, sample_rng=args.seed)
+    report = outcome.report
+    result = outcome.optimization
+    print(f"problem: {problem.name}  grid: {grid.shape} ({grid.size} points)")
+    print(
+        f"samples: {report.num_samples} ({100 * report.sampling_fraction:.1f}%)  "
+        f"speedup: {report.speedup:.1f}x  solver iters: "
+        f"{report.solver_iterations}"
+    )
+    point = "  ".join(f"{value:+.4f}" for value in result.parameters)
+    print(
+        f"{args.optimizer}: best {result.value:+.6f} at [{point}]  "
+        f"queries {result.num_queries}  "
+        f"{'converged' if result.converged else 'NOT converged'}"
+    )
+    stages = "  ".join(
+        f"{name} {seconds * 1000:.1f}ms"
+        for name, seconds in outcome.timings.items()
+    )
+    if stages:
+        print(f"stages: {stages}")
+    served = outcome.served_by
+    if outcome.key is not None:
+        served += f"  (cached as {outcome.key})"
+    print(f"served by: {served}")
     return 0
 
 
@@ -556,6 +648,21 @@ def _cache_from_daemon(client, action: str) -> int:
             "computed {computed}  deduped {deduped}  "
             "errors {errors}".format(**counters)
         )
+        print(
+            "  sparse: read-through {sparse_hits}  computed "
+            "{sparse_computed}  deduped {sparse_deduped}  "
+            "pipelines {pipeline_runs}".format(
+                **{
+                    name: counters.get(name, 0)
+                    for name in (
+                        "sparse_hits",
+                        "sparse_computed",
+                        "sparse_deduped",
+                        "pipeline_runs",
+                    )
+                }
+            )
+        )
         store = stats["store"]
         if store is None:
             print("  store: disabled")
@@ -587,6 +694,7 @@ _COMMANDS = {
     "adaptive": _command_adaptive,
     "analyze": _command_analyze,
     "batch": _command_batch,
+    "pipeline": _command_pipeline,
     "serve": _command_serve,
     "cache": _command_cache,
 }

@@ -23,7 +23,7 @@ from ..landscape.metrics import (
     second_derivative,
     variance_of_gradient,
 )
-from ..landscape.reconstructor import OscarReconstructor
+from ..landscape.reconstructor import OscarReconstructor, sample_and_evaluate
 from ..mitigation.zne import ZneConfig, zne_cost_function
 from ..problems.maxcut import random_3_regular_maxcut
 from ..quantum.noise import NoiseModel
@@ -116,8 +116,9 @@ def run_mitigation_study(
         reconstructor = OscarReconstructor(grid, rng=seed + 101 * (position + 1))
         # Sample from a fresh draw of the *same stochastic process*
         # (new shot noise per query), like re-running hardware.
-        indices = reconstructor.sample_indices(sampling_fraction)
-        sample_sets.append((indices, generator.evaluate_indices(indices)))
+        sample_sets.append(
+            sample_and_evaluate(generator, reconstructor, sampling_fraction)
+        )
         original[setting] = truth
     # One batched engine pass reconstructs all three settings at once.
     reconstructions = OscarReconstructor(grid).reconstruct_many(

@@ -17,7 +17,7 @@ from ..datasets.sycamore import sycamore_landscape
 from ..landscape.generator import LandscapeGenerator, cost_function
 from ..landscape.grid import qaoa_grid
 from ..landscape.metrics import nrmse
-from ..landscape.reconstructor import OscarReconstructor
+from ..landscape.reconstructor import OscarReconstructor, sample_and_evaluate
 from ..problems.maxcut import random_3_regular_maxcut
 from ..quantum.noise import NoiseModel
 from .configs import DEFAULT, FIG4_NOISE, ExperimentScale
@@ -77,8 +77,7 @@ def _instance_errors(
         )
         truths.append(generator.grid_search())
         reconstructor = OscarReconstructor(grid, rng=seed + 101 * instance)
-        indices = reconstructor.sample_indices(fraction)
-        sample_sets.append((indices, generator.evaluate_indices(indices)))
+        sample_sets.append(sample_and_evaluate(generator, reconstructor, fraction))
     reconstructions = OscarReconstructor(grid).reconstruct_many(sample_sets)
     return np.asarray(
         [

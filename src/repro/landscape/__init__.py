@@ -30,7 +30,7 @@ from .analysis import (
 )
 from .compare import LandscapeComparison, compare_landscapes
 from .generator import AnsatzCostFunction, LandscapeGenerator, cost_function
-from .grid import GridAxis, ParameterGrid, qaoa_grid
+from .grid import GridAxis, ParameterGrid, qaoa_grid, validate_flat_indices
 from .interpolate import InterpolatedLandscape
 from .landscape import Landscape
 from .metrics import (
@@ -40,7 +40,11 @@ from .metrics import (
     second_derivative,
     variance_of_gradient,
 )
-from .reconstructor import OscarReconstructor, ReconstructionReport
+from .reconstructor import (
+    OscarReconstructor,
+    ReconstructionReport,
+    sample_and_evaluate,
+)
 from .symmetry import (
     half_grid_indices,
     is_centrosymmetric_grid,
@@ -73,6 +77,7 @@ __all__ = [
     "GridAxis",
     "ParameterGrid",
     "qaoa_grid",
+    "validate_flat_indices",
     "InterpolatedLandscape",
     "Landscape",
     "dct_sparsity",
@@ -82,6 +87,7 @@ __all__ = [
     "variance_of_gradient",
     "OscarReconstructor",
     "ReconstructionReport",
+    "sample_and_evaluate",
     "half_grid_indices",
     "is_centrosymmetric_grid",
     "mirror_flat_index",

@@ -49,7 +49,7 @@ import numpy as np
 from ..ansatz.base import Ansatz
 from ..quantum.batched import default_batch_size
 from ..quantum.noise import NoiseModel
-from .grid import ParameterGrid
+from .grid import ParameterGrid, validate_flat_indices
 from .landscape import Landscape
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service uses us)
@@ -448,9 +448,63 @@ class LandscapeGenerator:
         )
 
     def evaluate_indices(self, flat_indices: Sequence[int] | np.ndarray) -> np.ndarray:
-        """Cost values at a subset of grid points (OSCAR's sampling)."""
-        flat_indices = np.asarray(flat_indices, dtype=int)
+        """Cost values at a subset of grid points (OSCAR's sampling).
+
+        Indices are bounds-checked first (negative or >= ``grid.size``
+        raises ``ValueError`` instead of silently wrapping).  With
+        ``daemon=`` set, the subset is evaluated server-side through
+        the daemon's ``compute_indices`` op — warm persistent pool,
+        read-through from a cached dense landscape when one exists,
+        concurrent identical requests computed once — falling back to
+        the local path when no daemon is listening.
+        """
+        flat_indices = validate_flat_indices(self.grid.size, flat_indices)
+        if self.daemon is not None:
+            return self._client().evaluate_indices(
+                self.function,
+                self.grid,
+                flat_indices,
+                batch_size=self.batch_size,
+                seed=self.seed,
+                shard_points=self.shard_points,
+                fallback=lambda: self.local_evaluate_indices(flat_indices),
+            )
+        return self.local_evaluate_indices(flat_indices)
+
+    def local_evaluate_indices(
+        self, flat_indices: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """The in-process :meth:`evaluate_indices` path (ignores
+        ``daemon=``).  This is both the no-daemon fallback and what the
+        daemon itself runs server-side on a sparse miss."""
+        flat_indices = validate_flat_indices(self.grid.size, flat_indices)
         return self.evaluate_points(self.grid.points_from_flat(flat_indices))
+
+    def run_pipeline(self, config, sample_rng=None):
+        """One OSCAR loop: sample → evaluate → reconstruct → optimize.
+
+        ``config`` is a :class:`~repro.service.pipeline.PipelineConfig`;
+        the result is a :class:`~repro.service.pipeline.PipelineOutcome`
+        carrying the reconstructed landscape, its report, the optimizer
+        trajectory and per-stage timings.  With ``daemon=`` set, the
+        whole loop runs server-side in one request (the ``pipeline``
+        op), falling back to the in-process implementation when no
+        daemon is listening.
+        """
+        from ..service.pipeline import run_pipeline
+
+        if self.daemon is not None:
+            return self._client().run_pipeline(
+                self.function,
+                self.grid,
+                config,
+                sample_rng=sample_rng,
+                batch_size=self.batch_size,
+                seed=self.seed,
+                shard_points=self.shard_points,
+                fallback=lambda: run_pipeline(self, config, sample_rng),
+            )
+        return run_pipeline(self, config, sample_rng)
 
     def evaluate_point(self, parameters: np.ndarray) -> float:
         """Cost at an arbitrary (off-grid) parameter vector."""

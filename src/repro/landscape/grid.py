@@ -19,7 +19,37 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["GridAxis", "ParameterGrid", "qaoa_grid"]
+__all__ = ["GridAxis", "ParameterGrid", "qaoa_grid", "validate_flat_indices"]
+
+
+def validate_flat_indices(
+    size: int, flat_indices: Sequence[int] | np.ndarray
+) -> np.ndarray:
+    """Normalise flat grid indices, rejecting anything out of range.
+
+    Negative indices are rejected rather than wrapped: ``numpy`` fancy
+    indexing would silently alias ``-1`` to the last grid point, which
+    turns an off-by-one in a sampler into a wrong-but-plausible
+    landscape value instead of an error.  Kept as a module function
+    (parameterized by ``size``) so duck-typed grid stand-ins that only
+    expose ``size``/``points_from_flat`` get the same checks.
+    """
+    flat = np.asarray(flat_indices, dtype=np.int64)
+    if flat.size:
+        low = int(flat.min())
+        high = int(flat.max())
+        if low < 0:
+            raise ValueError(
+                f"flat index {low} is negative; negative indices would "
+                "silently wrap to the end of the grid, so they are "
+                "rejected"
+            )
+        if high >= size:
+            raise ValueError(
+                f"flat index {high} is out of range for a grid of "
+                f"{size} points"
+            )
+    return flat
 
 
 @dataclass(frozen=True)
@@ -87,6 +117,14 @@ class ParameterGrid:
     def point_from_flat(self, flat_index: int) -> np.ndarray:
         """Physical parameter values at a flat (row-major) index."""
         return self.point(np.unravel_index(int(flat_index), self.shape))
+
+    def validate_flat_indices(
+        self, flat_indices: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Flat indices as an int array, or ``ValueError`` if any index
+        is negative or beyond :attr:`size` (see
+        :func:`validate_flat_indices`)."""
+        return validate_flat_indices(self.size, flat_indices)
 
     def points_from_flat(self, flat_indices: np.ndarray) -> np.ndarray:
         """Vectorised ``(m, ndim)`` parameter values for flat indices."""

@@ -47,7 +47,26 @@ from .grid import ParameterGrid
 from .landscape import Landscape
 from ..utils import ensure_rng
 
-__all__ = ["OscarReconstructor", "ReconstructionReport"]
+__all__ = ["OscarReconstructor", "ReconstructionReport", "sample_and_evaluate"]
+
+
+def sample_and_evaluate(
+    generator: LandscapeGenerator,
+    reconstructor: "OscarReconstructor",
+    fraction: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw one sample set and evaluate it: ``(flat_indices, values)``.
+
+    The shared phase-1+2 step of every sweep that batches its
+    reconstructions (the sampling/mitigation studies, ``oscar-repro
+    batch``): sample indices from the reconstructor's rng, evaluate
+    them through the generator — which routes through the daemon's
+    sparse ``compute_indices`` op when the generator has ``daemon=``
+    set — and return the pair ready for
+    :meth:`OscarReconstructor.reconstruct_many`.
+    """
+    flat_indices = reconstructor.sample_indices(fraction)
+    return flat_indices, generator.evaluate_indices(flat_indices)
 
 
 @dataclass(frozen=True)

@@ -26,4 +26,38 @@ __all__ = [
     "Cobyla",
     "NelderMead",
     "Spsa",
+    "available_optimizers",
+    "make_optimizer",
 ]
+
+#: Name -> class registry behind :func:`make_optimizer`.  Names are what
+#: the ``pipeline`` service op and CLI accept, so they must stay stable.
+_OPTIMIZERS: dict[str, type[Optimizer]] = {
+    "adam": Adam,
+    "gradient-descent": GradientDescent,
+    "cobyla": Cobyla,
+    "nelder-mead": NelderMead,
+    "spsa": Spsa,
+}
+
+
+def available_optimizers() -> tuple[str, ...]:
+    """The optimizer names :func:`make_optimizer` accepts (sorted)."""
+    return tuple(sorted(_OPTIMIZERS))
+
+
+def make_optimizer(name: str, **options) -> Optimizer:
+    """Build an optimizer by registry name.
+
+    ``options`` are passed straight to the constructor (``maxiter``,
+    ``tolerance``, ...).  This is how the daemon's ``pipeline`` op and
+    the ``oscar-repro pipeline`` subcommand select their optimizer from
+    a plain string.
+    """
+    try:
+        factory = _OPTIMIZERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {name!r}; choose from {available_optimizers()}"
+        ) from None
+    return factory(**options)

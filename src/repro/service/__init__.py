@@ -27,6 +27,7 @@ for the layer map.
 
 from .client import DaemonError, DaemonUnavailable, LandscapeClient
 from .daemon import DEFAULT_SOCKET, LandscapeDaemon
+from .pipeline import PipelineConfig, PipelineOutcome, run_pipeline
 from .shards import Shard, ShardedExecutor, plan_shards
 from .store import LandscapeSpec, LandscapeStore, StoreEntry
 
@@ -42,4 +43,7 @@ __all__ = [
     "DaemonError",
     "DaemonUnavailable",
     "DEFAULT_SOCKET",
+    "PipelineConfig",
+    "PipelineOutcome",
+    "run_pipeline",
 ]

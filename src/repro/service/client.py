@@ -234,6 +234,183 @@ class LandscapeClient:
         )
         return generator.local_grid_search(task["label"])
 
+    @staticmethod
+    def _local_generator(task: dict[str, Any]):
+        from ..landscape.generator import LandscapeGenerator
+
+        return LandscapeGenerator(
+            task["function"],
+            task["grid"],
+            batch_size=task["batch_size"],
+            seed=task["seed"],
+            shard_points=task["shard_points"],
+        )
+
+    # -- sparse evaluation (OSCAR's sampling path) -------------------------
+
+    def evaluate_indices(
+        self,
+        function: Callable,
+        grid,
+        flat_indices: np.ndarray | Sequence[int],
+        batch_size: int | None = None,
+        seed: int | None = None,
+        shard_points: int | None = None,
+        fallback: Callable[[], np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Cost values at a flat-index subset, served by the daemon.
+
+        Ships the pickled cost function, grid and index set to the
+        daemon's ``compute_indices`` op: indices are bounds-validated
+        server-side, exact requests read through a cached dense
+        landscape when the store holds one (no pool touch), and
+        deterministic requests dedup against concurrent identical index
+        sets.  The function's bound ``rng`` (if any) is consumed
+        server-side and its final state written back, preserving the
+        draw-order contract.  Falls back in-process like
+        :meth:`get_or_compute` when no daemon is reachable.
+        """
+        task = {
+            "function": function,
+            "grid": grid,
+            "indices": np.asarray(flat_indices, dtype=np.int64),
+            "batch_size": batch_size,
+            "seed": seed,
+            "shard_points": shard_points,
+        }
+        try:
+            response = self._request(
+                {"op": "compute_indices", "task": encode_blob(pickle.dumps(task))}
+            )
+        except DaemonUnavailable:
+            if not self.fallback:
+                raise
+            self.fallbacks += 1
+            self.last_served_by = "local"
+            if fallback is not None:
+                return np.asarray(fallback())
+            return self._local_generator(task).local_evaluate_indices(
+                task["indices"]
+            )
+        values = np.asarray(pickle.loads(decode_blob(response["values"])))
+        rng = getattr(function, "rng", None)
+        if rng is not None and response.get("rng") is not None:
+            advanced = pickle.loads(decode_blob(response["rng"]))
+            rng.bit_generator.state = advanced.bit_generator.state
+        if response.get("readthrough"):
+            self.last_served_by = "daemon-readthrough"
+        elif response.get("deduped"):
+            self.last_served_by = "daemon-deduped"
+        else:
+            self.last_served_by = "daemon-computed"
+        return values
+
+    def evaluate_ansatz_indices(
+        self,
+        ansatz: Ansatz,
+        grid,
+        flat_indices: np.ndarray | Sequence[int],
+        noise=None,
+        shots: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Uncached sparse evaluation at the ansatz level.
+
+        The ``compute_indices`` counterpart of :meth:`evaluate_ansatz`:
+        index points resolve server-side, per-row ``noise`` sequences
+        align with the index list, and the caller's ``rng`` state
+        round-trips — the ``daemon-sparse`` engine in
+        ``tests/equivalence/harness.py`` is this call.  Never falls
+        back (a dead daemon must fail the parity matrix loudly).
+        """
+        task = {
+            "ansatz": ansatz,
+            "grid": grid,
+            "indices": np.asarray(flat_indices, dtype=np.int64),
+            "noise": noise,
+            "shots": shots,
+            "rng": rng,
+        }
+        response = self._request(
+            {"op": "compute_indices", "task": encode_blob(pickle.dumps(task))}
+        )
+        values = pickle.loads(decode_blob(response["values"]))
+        if rng is not None and response.get("rng") is not None:
+            advanced = pickle.loads(decode_blob(response["rng"]))
+            rng.bit_generator.state = advanced.bit_generator.state
+        return np.asarray(values)
+
+    # -- the one-request pipeline ------------------------------------------
+
+    def run_pipeline(
+        self,
+        function: Callable,
+        grid,
+        config,
+        sample_rng=None,
+        batch_size: int | None = None,
+        seed: int | None = None,
+        shard_points: int | None = None,
+        fallback: Callable[[], Any] | None = None,
+    ):
+        """Sample → reconstruct → optimize in one daemon request.
+
+        Returns a :class:`~repro.service.pipeline.PipelineOutcome`.
+        Both the caller's sampling generator (when ``sample_rng`` is a
+        ``Generator``) and the cost function's bound ``rng`` round-trip
+        over the wire, so a daemon-served pipeline leaves the caller's
+        streams exactly where a local run would — and its trajectory is
+        bit-identical to the client-composed sequence.  Falls back to
+        the in-process :func:`~repro.service.pipeline.run_pipeline`
+        when no daemon is reachable.
+        """
+        from .pipeline import PipelineOutcome, run_pipeline
+
+        task = {
+            "function": function,
+            "grid": grid,
+            "config": config,
+            "sample_rng": sample_rng,
+            "batch_size": batch_size,
+            "seed": seed,
+            "shard_points": shard_points,
+        }
+        try:
+            response = self._request(
+                {"op": "pipeline", "task": encode_blob(pickle.dumps(task))}
+            )
+        except DaemonUnavailable:
+            if not self.fallback:
+                raise
+            self.fallbacks += 1
+            self.last_served_by = "local"
+            if fallback is not None:
+                return fallback()
+            return run_pipeline(self._local_generator(task), config, sample_rng)
+        landscape = Landscape.from_bytes(decode_blob(response["landscape"]))
+        result = pickle.loads(decode_blob(response["result"]))
+        rng = getattr(function, "rng", None)
+        if rng is not None and response.get("rng") is not None:
+            advanced = pickle.loads(decode_blob(response["rng"]))
+            rng.bit_generator.state = advanced.bit_generator.state
+        if (
+            isinstance(sample_rng, np.random.Generator)
+            and response.get("sample_rng") is not None
+        ):
+            advanced = pickle.loads(decode_blob(response["sample_rng"]))
+            sample_rng.bit_generator.state = advanced.bit_generator.state
+        self.last_served_by = "daemon-pipeline"
+        return PipelineOutcome(
+            landscape=landscape,
+            report=result["report"],
+            optimization=result["optimization"],
+            flat_indices=np.asarray(result["flat_indices"]),
+            values=np.asarray(result["values"]),
+            timings=dict(response.get("timings") or {}),
+            key=response.get("key"),
+            served_by="daemon",
+        )
+
     # -- raw evaluation (the equivalence-harness path) ---------------------
 
     def evaluate_ansatz(

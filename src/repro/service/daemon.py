@@ -27,25 +27,44 @@ and a structured ``"error": {"type", "message"}`` (a malformed request
 gets an error response; it never kills the server).  A connection may
 issue any number of requests sequentially.
 
-=============  ==============================================================
-op             meaning
-=============  ==============================================================
-``ping``       liveness probe; returns pid/workers/uptime
-``compute``    ``get_or_compute`` for a pickled ``(function, grid, ...)``
-               task: store hit, else single-flighted computation on the
-               persistent pool; returns the landscape as base64 ``.npz``
-``get``        store lookup by spec key (no computation)
-``evaluate``   raw (uncached) batch evaluation of a pickled ansatz task;
-               threads the caller's pickled rng through and returns its
-               final state, which is what lets the daemon-backed path
-               register in ``tests/equivalence/harness.py``
-``invalidate`` drop one store entry by key
-``index``      list cached entries (key, label, bytes, access stamp)
-``stats``      request/hit/miss/dedup counters + store summary
-``shutdown``   stop serving (the socket file is removed on close)
-=============  ==============================================================
+==================  =========================================================
+op                  meaning
+==================  =========================================================
+``ping``            liveness probe; returns pid/workers/uptime
+``compute``         ``get_or_compute`` for a pickled ``(function, grid,
+                    ...)`` task: store hit, else single-flighted
+                    computation on the persistent pool; returns the
+                    landscape as base64 ``.npz``
+``compute_indices`` sparse evaluation of an arbitrary flat-index set
+                    (OSCAR's sampling path) through the persistent
+                    pool.  Function-shaped tasks get the full service
+                    treatment — bounds validation, a read-through fast
+                    path answering exact requests from a cached dense
+                    landscape without touching the pool, and
+                    single-flight dedup keyed on (dense spec key,
+                    canonicalized index set) — while ansatz-shaped
+                    tasks mirror ``evaluate`` (rng round-trip, per-row
+                    noise), which is how the ``daemon-sparse``
+                    equivalence engine registers
+``pipeline``        the whole paper loop in one request: sample →
+                    reconstruct (batched FISTA) → optimize, returning
+                    the reconstructed landscape (plus its store key
+                    when reproducible) and the full optimizer
+                    trajectory with per-stage timings
+``get``             store lookup by spec key (no computation)
+``evaluate``        raw (uncached) batch evaluation of a pickled ansatz
+                    task; threads the caller's pickled rng through and
+                    returns its final state, which is what lets the
+                    daemon-backed path register in
+                    ``tests/equivalence/harness.py``
+``invalidate``      drop one store entry by key
+``index``           list cached entries (key, label, bytes, access)
+``stats``           per-op counters (dense hits, sparse read-through
+                    hits, pipeline runs, dedups, errors) + store summary
+``shutdown``        stop serving (the socket file is removed on close)
+==================  =========================================================
 
-``compute`` and ``evaluate`` tasks are **pickled** by the client.  The
+Tasks are **pickled** by the client.  The
 trust boundary is the socket file's filesystem permissions: anyone who
 can connect can execute code in the daemon process, exactly like any
 local pickle-based worker pool (``multiprocessing`` itself included).
@@ -55,6 +74,7 @@ Keep the socket in a directory only the owning user can write.
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 import os
 import pickle
@@ -63,12 +83,12 @@ import threading
 import time
 import traceback
 from pathlib import Path
-from typing import Any, BinaryIO
+from typing import Any, BinaryIO, Callable
 
 import numpy as np
 
-from ..landscape.landscape import Landscape
-from .shards import ShardedExecutor, _pool_context
+from ..landscape.grid import validate_flat_indices
+from .shards import ShardedExecutor, _pool_context, plan_shards
 from .store import LandscapeStore
 
 __all__ = ["LandscapeDaemon", "DEFAULT_SOCKET"]
@@ -107,12 +127,17 @@ def write_message(stream: BinaryIO, message: dict[str, Any]) -> None:
 
 
 class _Flight:
-    """One in-flight computation that concurrent identical requests join."""
+    """One in-flight computation that concurrent identical requests join.
+
+    ``result`` is whatever the leader's producer returned — a
+    ``(landscape, hit)`` pair for ``compute``, a ``(values,
+    readthrough)`` pair for ``compute_indices`` — so the single-flight
+    machinery is shared across ops.
+    """
 
     def __init__(self) -> None:
         self.done = threading.Event()
-        self.landscape: Landscape | None = None
-        self.hit = False
+        self.result: Any = None
         self.error: BaseException | None = None
 
 
@@ -205,6 +230,10 @@ class LandscapeDaemon:
             "computed": 0,
             "deduped": 0,
             "evaluations": 0,
+            "sparse_hits": 0,
+            "sparse_computed": 0,
+            "sparse_deduped": 0,
+            "pipeline_runs": 0,
             "errors": 0,
         }
         self._pool = None
@@ -439,8 +468,167 @@ class LandscapeDaemon:
         task = self._load_task(request)
         generator = self._generator_for(task)
         spec = generator.cache_spec()
-        key = spec.key()
 
+        def produce() -> tuple[Any, bool]:
+            landscape = None
+            if self.store is not None:
+                with self._store_lock:
+                    landscape = self.store.get(spec)
+            if landscape is not None:
+                self._bump("hits")
+                return landscape, True
+            self._bump("misses")
+            self._bump("computed")
+            landscape = generator.local_grid_search(
+                str(task.get("label", "landscape"))
+            )
+            if self.store is not None:
+                with self._store_lock:
+                    self.store.put(spec, landscape)
+            return landscape, False
+
+        (landscape, hit), deduped = self._single_flight(spec.key(), produce)
+        return {
+            "landscape": encode_blob(landscape.to_bytes()),
+            "hit": hit,
+            "deduped": deduped,
+        }
+
+    def _op_compute_indices(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Sparse evaluation of a flat-index set (OSCAR's sampling path).
+
+        Two task shapes, dispatched on what the task carries:
+
+        - **function-shaped** (``function``/``grid``/``indices``) — the
+          service path used by
+          :meth:`~repro.landscape.generator.LandscapeGenerator.evaluate_indices`:
+          indices are bounds-validated, exact requests are answered
+          from a cached dense landscape in the store when one exists
+          (read-through — no pool touch), and deterministic requests
+          single-flight on (dense spec key, canonicalized index set);
+        - **ansatz-shaped** (``ansatz``/``grid``/``indices`` +
+          ``noise``/``shots``/``rng``) — the raw path mirroring
+          ``evaluate``: index points resolve server-side and run
+          through the sharded executor with the caller's rng threaded
+          through and shipped back.  Per-row noise sequences align with
+          the index list.  This is the ``daemon-sparse`` equivalence
+          engine's path.
+
+        Either way the caller's generator (when bound) is consumed here
+        and its final state returned, preserving the cross-engine rng
+        draw-order contract over the wire.
+        """
+        task = self._load_task(request)
+        if "grid" not in task:
+            raise ValueError("compute_indices task needs 'grid' and 'indices'")
+        grid = task["grid"]
+        flat_indices = validate_flat_indices(int(grid.size), task.get("indices"))
+
+        if "ansatz" in task:
+            executor = ShardedExecutor(
+                workers=self.workers,
+                shard_points=self._resolve_shard_points(task),
+                seed=task.get("seed"),
+                pool=self._pool,
+            )
+            rng = task.get("rng")
+            values = executor.run_ansatz(
+                task["ansatz"],
+                grid.points_from_flat(flat_indices),
+                noise=task.get("noise"),
+                shots=task.get("shots"),
+                rng=rng,
+            )
+            self._bump("evaluations")
+            return {
+                "values": encode_blob(pickle.dumps(np.asarray(values))),
+                "rng": None if rng is None else encode_blob(pickle.dumps(rng)),
+                "readthrough": False,
+                "deduped": False,
+            }
+
+        generator = self._generator_for(task)
+        values, readthrough, deduped = self._sparse_values(generator, flat_indices)
+        rng = getattr(generator.function, "rng", None)
+        return {
+            "values": encode_blob(pickle.dumps(np.asarray(values))),
+            "rng": None if rng is None else encode_blob(pickle.dumps(rng)),
+            "readthrough": readthrough,
+            "deduped": deduped,
+        }
+
+    def _op_pipeline(self, request: dict[str, Any]) -> dict[str, Any]:
+        """The whole paper loop, server-side, in one request.
+
+        Runs :func:`~repro.service.pipeline.run_pipeline` on the
+        daemon's resources, with the evaluation stage routed through
+        the same sparse service path as ``compute_indices`` (so a
+        cached dense landscape read-throughs here too).  The
+        reconstruction is cached under a pipeline spec when the request
+        is reproducible (integer sample seed + deterministic
+        evaluation), and its store key returned as a handle.  Pipeline
+        requests are *not* single-flighted: an unseeded sampling rng
+        makes two byte-identical requests legitimately different runs.
+        """
+        from .pipeline import PipelineConfig, pipeline_spec, run_pipeline
+
+        task = self._load_task(request)
+        config = task.get("config")
+        if not isinstance(config, PipelineConfig):
+            raise TypeError("pipeline task needs a PipelineConfig 'config'")
+        generator = self._generator_for(task)
+        sample_rng = task.get("sample_rng")
+        outcome = run_pipeline(
+            generator,
+            config,
+            sample_rng,
+            evaluate=lambda indices: self._sparse_values(generator, indices)[0],
+        )
+        self._bump("pipeline_runs")
+
+        key = None
+        if self.store is not None and isinstance(sample_rng, int):
+            try:
+                spec = pipeline_spec(generator, config, sample_rng)
+            except (TypeError, ValueError, AttributeError):
+                spec = None
+            if spec is not None:
+                with self._store_lock:
+                    self.store.put(spec, outcome.landscape)
+                key = spec.key()
+
+        rng = getattr(generator.function, "rng", None)
+        result = {
+            "report": outcome.report,
+            "optimization": outcome.optimization,
+            "flat_indices": outcome.flat_indices,
+            "values": outcome.values,
+        }
+        return {
+            "landscape": encode_blob(outcome.landscape.to_bytes()),
+            "result": encode_blob(pickle.dumps(result)),
+            "timings": {name: float(t) for name, t in outcome.timings.items()},
+            "key": key,
+            "rng": None if rng is None else encode_blob(pickle.dumps(rng)),
+            "sample_rng": (
+                encode_blob(pickle.dumps(sample_rng))
+                if isinstance(sample_rng, np.random.Generator)
+                else None
+            ),
+        }
+
+    # -- compute helpers ---------------------------------------------------
+
+    def _single_flight(
+        self,
+        key: str,
+        produce: Callable[[], Any],
+        counter: str = "deduped",
+    ) -> tuple[Any, bool]:
+        """Run ``produce`` once per key; concurrent callers share the
+        outcome (or the leader's exception).  Returns ``(result,
+        deduped)``; ``counter`` names which dedup counter followers
+        bump."""
         with self._inflight_lock:
             flight = self._inflight.get(key)
             leader = flight is None
@@ -449,30 +637,14 @@ class LandscapeDaemon:
                 self._inflight[key] = flight
 
         if not leader:
-            self._bump("deduped")
+            self._bump(counter)
             flight.done.wait()
             if flight.error is not None:
                 raise flight.error
-            return self._compute_response(flight, deduped=True)
+            return flight.result, True
 
         try:
-            landscape = None
-            if self.store is not None:
-                with self._store_lock:
-                    landscape = self.store.get(spec)
-            if landscape is not None:
-                self._bump("hits")
-                flight.hit = True
-            else:
-                self._bump("misses")
-                self._bump("computed")
-                landscape = generator.local_grid_search(
-                    str(task.get("label", "landscape"))
-                )
-                if self.store is not None:
-                    with self._store_lock:
-                        self.store.put(spec, landscape)
-            flight.landscape = landscape
+            flight.result = produce()
         except BaseException as error:
             flight.error = error
             raise
@@ -480,9 +652,75 @@ class LandscapeDaemon:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
             flight.done.set()
-        return self._compute_response(flight, deduped=False)
+        return flight.result, False
 
-    # -- compute helpers ---------------------------------------------------
+    def _sparse_identity(
+        self, generator, flat_indices: np.ndarray
+    ) -> tuple[str | None, Any]:
+        """``(single-flight key, dense spec)`` of a sparse request.
+
+        The key recipe (documented in ``service/README.md``): sha256
+        over the *dense* landscape spec key, the first sparse shard's
+        size (the rng plan over the index list, relevant under seeded
+        shot noise), and the raw little-endian int64 bytes of the index
+        array — order-preserving, because response values align with
+        request order and seeded draws depend on point order.
+
+        Returns ``(None, None)`` when the request has no stable
+        identity: a live rng (unseeded shot noise — every run is a
+        different draw), a cost function that cannot describe itself,
+        or a duck-typed grid the spec cannot canonicalize.  Those
+        requests skip dedup and read-through and just evaluate.
+        """
+        try:
+            dense_spec = generator.cache_spec()
+        except (TypeError, ValueError, AttributeError):
+            return None, None
+        shards = plan_shards(int(flat_indices.size), generator.shard_points)
+        digest = hashlib.sha256()
+        digest.update(dense_spec.key().encode("ascii"))
+        digest.update(str(shards[0].size if shards else 0).encode("ascii"))
+        digest.update(np.ascontiguousarray(flat_indices, dtype=np.int64).tobytes())
+        return "sparse:" + digest.hexdigest()[:32], dense_spec
+
+    def _sparse_values(
+        self, generator, flat_indices: np.ndarray
+    ) -> tuple[np.ndarray, bool, bool]:
+        """Values at ``flat_indices``: read-through, dedup, or compute.
+
+        Returns ``(values, readthrough, deduped)``.  The read-through
+        fast path only answers **exact** requests: a cached shot-noise
+        landscape's draws were seeded by the dense grid's point
+        fingerprint, so its values at the sampled indices are a
+        *different* stochastic draw than evaluating the subset — serving
+        them would silently correlate OSCAR's samples with the ground
+        truth (the exact property the spawn-mode fingerprint exists to
+        prevent).
+        """
+        flat_indices = np.ascontiguousarray(flat_indices, dtype=np.int64)
+        key, dense_spec = self._sparse_identity(generator, flat_indices)
+
+        def produce() -> tuple[np.ndarray, bool]:
+            if (
+                dense_spec is not None
+                and self.store is not None
+                and getattr(generator.function, "shots", None) is None
+            ):
+                with self._store_lock:
+                    cached = self.store.get(dense_spec)
+                if cached is not None:
+                    self._bump("sparse_hits")
+                    return np.asarray(cached.flat()[flat_indices], dtype=float), True
+            self._bump("sparse_computed")
+            return generator.local_evaluate_indices(flat_indices), False
+
+        if key is None:
+            values, readthrough = produce()
+            return values, readthrough, False
+        (values, readthrough), deduped = self._single_flight(
+            key, produce, counter="sparse_deduped"
+        )
+        return values, readthrough, deduped
 
     def _resolve_shard_points(self, task: dict[str, Any]) -> int | None:
         """The task's shard layout, else the daemon's default.
@@ -517,10 +755,3 @@ class LandscapeDaemon:
             executor_pool=self._pool,
         )
 
-    @staticmethod
-    def _compute_response(flight: _Flight, deduped: bool) -> dict[str, Any]:
-        return {
-            "landscape": encode_blob(flight.landscape.to_bytes()),
-            "hit": flight.hit,
-            "deduped": deduped,
-        }

@@ -1,0 +1,227 @@
+"""The one-request OSCAR pipeline: sample → reconstruct → optimize.
+
+This module is the *shared implementation* behind the daemon's
+``pipeline`` op and the client-side fallback: both call
+:func:`run_pipeline` with the same :class:`PipelineConfig`, so a
+pipeline served over the socket and one composed locally execute the
+exact same code path — which is why the returned optimizer trajectory
+is bit-identical between the two under the parity rng regime (gated in
+``benchmarks/test_sparse_service.py``).
+
+The stages map onto the paper's workflow (Fig. 3 + the Sec. 7/8
+optimizer use cases):
+
+1. **sample** — draw a random index subset via
+   :class:`~repro.landscape.reconstructor.OscarReconstructor`'s sampler
+   (``uniform`` / ``stratified``);
+2. **evaluate** — cost values at those indices.  Locally this is
+   :meth:`~repro.landscape.generator.LandscapeGenerator.local_evaluate_indices`;
+   the daemon injects its own sparse path here (warm pool + store
+   read-through) via the ``evaluate`` hook;
+3. **reconstruct** — the batched FISTA engine
+   (:class:`~repro.cs.engine.ReconstructionEngine`, via
+   ``reconstruct_many`` with a one-problem stack);
+4. **optimize** — a registry optimizer
+   (:func:`~repro.optimizers.make_optimizer`) minimizing the
+   interpolated reconstruction
+   (:class:`~repro.landscape.interpolate.InterpolatedLandscape`),
+   starting from the reconstruction's grid minimum unless the config
+   pins an initial point.
+
+Every stage is timed (``PipelineOutcome.timings``); the daemon returns
+those server-side timings so the transport-overhead gate can compare
+request wall clock against the sum of the actual work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..cs.reconstruct import ReconstructionConfig
+from ..landscape.interpolate import InterpolatedLandscape
+from ..landscape.landscape import Landscape
+from ..landscape.reconstructor import OscarReconstructor, ReconstructionReport
+from ..optimizers import OptimizationResult, available_optimizers, make_optimizer
+from ..utils import ensure_rng
+
+__all__ = ["PipelineConfig", "PipelineOutcome", "run_pipeline"]
+
+#: Samplers understood by :class:`OscarReconstructor` (validated here
+#: too so a bad config fails before any circuit executes).
+_SAMPLERS = ("uniform", "stratified")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything the pipeline needs beyond the generator itself.
+
+    Attributes:
+        fraction: sampling fraction in (0, 1].
+        sampler: index sampler, ``"uniform"`` or ``"stratified"``.
+        reconstruction: CS solver knobs (``None`` = paper defaults).
+        optimizer: registry name (see
+            :func:`~repro.optimizers.available_optimizers`).
+        optimizer_options: constructor kwargs for the optimizer
+            (``maxiter``, ``tolerance``, ...).
+        initial_point: optimizer start; ``None`` starts from the
+            reconstructed landscape's grid minimum (the OSCAR
+            initialization idiom).
+        label: provenance tag for the reconstructed landscape.
+    """
+
+    fraction: float
+    sampler: str = "uniform"
+    reconstruction: ReconstructionConfig | None = None
+    optimizer: str = "cobyla"
+    optimizer_options: Mapping[str, Any] | None = None
+    initial_point: tuple[float, ...] | None = None
+    label: str = "oscar-pipeline"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in (0, 1], got {self.fraction}"
+            )
+        if self.sampler not in _SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; choose from {_SAMPLERS}"
+            )
+        if self.optimizer.lower() not in available_optimizers():
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; choose from "
+                f"{available_optimizers()}"
+            )
+
+
+@dataclass
+class PipelineOutcome:
+    """Everything one pipeline run produced.
+
+    Attributes:
+        landscape: the reconstructed landscape.
+        report: reconstruction diagnostics (samples, speedup, solver).
+        optimization: the full optimizer trajectory on the interpolated
+            reconstruction.
+        flat_indices: sampled flat grid indices (request order).
+        values: measured cost values aligned with ``flat_indices``.
+        timings: per-stage wall seconds (``sample`` / ``evaluate`` /
+            ``reconstruct`` / ``optimize``).
+        key: the daemon store key the reconstruction was cached under,
+            or ``None`` (no store, or a non-reproducible request).
+        served_by: ``"local"`` or ``"daemon"`` (set by the client).
+    """
+
+    landscape: Landscape
+    report: ReconstructionReport
+    optimization: OptimizationResult
+    flat_indices: np.ndarray
+    values: np.ndarray
+    timings: dict[str, float] = field(default_factory=dict)
+    key: str | None = None
+    served_by: str = "local"
+
+    @property
+    def total_stage_seconds(self) -> float:
+        """Sum of the recorded per-stage timings."""
+        return float(sum(self.timings.values()))
+
+
+def run_pipeline(
+    generator,
+    config: PipelineConfig,
+    sample_rng: np.random.Generator | int | None = None,
+    evaluate: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> PipelineOutcome:
+    """Execute the full OSCAR loop against a landscape generator.
+
+    Args:
+        generator: a :class:`~repro.landscape.generator.LandscapeGenerator`
+            (its ``daemon=`` setting is ignored here — daemon routing
+            happens one level up in ``LandscapeGenerator.run_pipeline``).
+        config: the pipeline configuration.
+        sample_rng: generator or seed for index sampling.  Pass an int
+            for a reproducible (and daemon-cacheable) sample set.
+        evaluate: override for the evaluation stage; the daemon injects
+            its sparse service path (read-through + counters) here.
+            Defaults to the generator's local index evaluation.
+    """
+    timings: dict[str, float] = {}
+
+    start = time.perf_counter()
+    reconstructor = OscarReconstructor(
+        generator.grid,
+        config=config.reconstruction,
+        sampler=config.sampler,
+        rng=ensure_rng(sample_rng),
+    )
+    flat_indices = reconstructor.sample_indices(config.fraction)
+    timings["sample"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    if evaluate is None:
+        evaluate = generator.local_evaluate_indices
+    values = np.asarray(evaluate(flat_indices), dtype=float)
+    timings["evaluate"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    ((landscape, report),) = reconstructor.reconstruct_many(
+        [(flat_indices, values)], labels=[config.label]
+    )
+    timings["reconstruct"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    surrogate = InterpolatedLandscape(landscape)
+    if config.initial_point is not None:
+        initial_point = np.asarray(config.initial_point, dtype=float)
+    else:
+        initial_point = landscape.minimum()[1]
+    optimizer = make_optimizer(
+        config.optimizer, **dict(config.optimizer_options or {})
+    )
+    optimization = optimizer.minimize(surrogate, initial_point)
+    timings["optimize"] = time.perf_counter() - start
+
+    return PipelineOutcome(
+        landscape=landscape,
+        report=report,
+        optimization=optimization,
+        flat_indices=flat_indices,
+        values=values,
+        timings=timings,
+    )
+
+
+def pipeline_spec(generator, config: PipelineConfig, sample_seed: int):
+    """The store spec a reproducible pipeline reconstruction caches under.
+
+    Only defined when the whole run is content-addressable: the sample
+    set must come from an integer seed and the evaluation must be
+    deterministic (exact, or seeded shot noise — the same rule as dense
+    landscapes).  Callers catch ``TypeError`` / ``ValueError`` from the
+    underlying :meth:`~repro.landscape.generator.LandscapeGenerator.cache_spec`
+    to mean "not cacheable".
+    """
+    from dataclasses import asdict
+
+    from .store import LandscapeSpec
+
+    dense_spec = generator.cache_spec()
+    reconstruction = config.reconstruction or ReconstructionConfig()
+    content = {
+        "kind": "oscar-pipeline",
+        "dense": dense_spec.payload(),
+        "sampler": config.sampler,
+        "fraction": float(config.fraction),
+        "sample_seed": int(sample_seed),
+        "reconstruction": asdict(reconstruction),
+    }
+    return LandscapeSpec.from_parts(
+        content,
+        generator.grid,
+        shots=getattr(generator.function, "shots", None),
+        execution=dense_spec.execution,
+    )

@@ -188,6 +188,53 @@ def daemon_engine(
     )
 
 
+class _EnumeratedGrid:
+    """A picklable duck grid whose flat indices enumerate a fixed batch.
+
+    The sparse daemon op resolves ``flat index -> parameter point``
+    server-side via the grid's ``points_from_flat``; wrapping the test
+    batch in this stand-in makes ``compute_indices`` evaluate exactly
+    the batch rows, in order, so its output is directly comparable to
+    every dense engine.
+    """
+
+    def __init__(self, batch: np.ndarray):
+        self.batch = np.asarray(batch, dtype=float)
+
+    @property
+    def size(self) -> int:
+        return int(self.batch.shape[0])
+
+    def points_from_flat(self, flat_indices) -> np.ndarray:
+        return self.batch[np.asarray(flat_indices, dtype=np.int64)]
+
+
+def daemon_sparse_engine(
+    ansatz: Ansatz,
+    batch: np.ndarray,
+    noise=None,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """The daemon's sparse ``compute_indices`` op (socket round trip).
+
+    Ships the batch as an enumerated grid plus the index set
+    ``0..B-1``, so the daemon resolves points from indices server-side
+    and runs them through its executor exactly like OSCAR's sampling
+    path — per-row noise sequences align with the index list, and the
+    caller's ``rng`` round-trips like the dense ``evaluate`` op's.
+    """
+    batch = np.asarray(batch, dtype=float)
+    return _daemon_client().evaluate_ansatz_indices(
+        ansatz,
+        _EnumeratedGrid(batch),
+        np.arange(batch.shape[0]),
+        noise=noise,
+        shots=shots,
+        rng=rng,
+    )
+
+
 #: Engine registry: name -> evaluation function.  ``REFERENCE_ENGINE``
 #: is what every other entry is pinned against.
 ENGINES: dict[str, EngineFn] = {
@@ -196,6 +243,7 @@ ENGINES: dict[str, EngineFn] = {
     "batched-density": batched_density_engine,
     "sharded": sharded_engine,
     "daemon": daemon_engine,
+    "daemon-sparse": daemon_sparse_engine,
 }
 REFERENCE_ENGINE = "serial"
 

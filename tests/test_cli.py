@@ -126,6 +126,29 @@ def test_batch_command(capsys):
     assert output.count("NRMSE") == 3
 
 
+def test_pipeline_command(capsys):
+    code = main(
+        [
+            "pipeline",
+            "--qubits", "6",
+            "--resolution", "16", "32",
+            "--fraction", "0.15",
+            "--optimizer", "nelder-mead",
+        ]
+    )
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "samples:" in output
+    assert "nelder-mead: best" in output
+    assert "stages:" in output
+    assert "served by: local" in output
+
+
+def test_pipeline_command_rejects_unknown_optimizer():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["pipeline", "--optimizer", "bfgs"])
+
+
 def test_analyze_command(capsys):
     code = main(
         ["analyze", "--qubits", "6", "--resolution", "16", "32", "--fraction", "0.15"]

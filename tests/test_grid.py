@@ -92,6 +92,45 @@ def test_iter_points_covers_grid():
     assert points[-1][0] == 11
 
 
+def test_validate_flat_indices_accepts_in_range():
+    grid = qaoa_grid(p=1, resolution=(5, 7))
+    flat = grid.validate_flat_indices([0, 34, 7])
+    assert flat.dtype == np.int64
+    np.testing.assert_array_equal(flat, [0, 34, 7])
+    assert grid.validate_flat_indices([]).size == 0
+
+
+def test_validate_flat_indices_rejects_negative():
+    """Negative flat indices would silently wrap to the end of the
+    grid under fancy indexing — they must raise instead."""
+    grid = qaoa_grid(p=1, resolution=(5, 7))
+    with pytest.raises(ValueError, match="negative"):
+        grid.validate_flat_indices([3, -1, 5])
+    from repro.landscape import validate_flat_indices
+
+    with pytest.raises(ValueError, match="negative"):
+        validate_flat_indices(35, [-35])
+
+
+def test_validate_flat_indices_rejects_out_of_range():
+    grid = qaoa_grid(p=1, resolution=(5, 7))
+    with pytest.raises(ValueError, match="out of range"):
+        grid.validate_flat_indices([0, grid.size])
+    with pytest.raises(ValueError, match="out of range"):
+        grid.validate_flat_indices([10**9])
+
+
+def test_generator_evaluate_indices_validates():
+    from repro.landscape import LandscapeGenerator
+
+    grid = qaoa_grid(p=1, resolution=(5, 7))
+    generator = LandscapeGenerator(lambda point: 0.0, grid)
+    with pytest.raises(ValueError, match="negative"):
+        generator.evaluate_indices([-2])
+    with pytest.raises(ValueError, match="out of range"):
+        generator.local_evaluate_indices([grid.size + 3])
+
+
 def test_bounds():
     grid = qaoa_grid(p=1, resolution=(5, 7))
     assert grid.bounds == [

@@ -324,6 +324,255 @@ def test_evaluate_matches_in_process_with_rng_parity(daemon, ansatz):
     assert daemon_rng.integers(1 << 63) == local_rng.integers(1 << 63)
 
 
+# -- sparse evaluation (compute_indices) --------------------------------------
+
+
+def test_compute_indices_matches_local(daemon, ansatz, grid):
+    """The sparse op computes the subset on the daemon's resources."""
+    function = cost_function(ansatz)
+    client = _client(daemon)
+    generator = LandscapeGenerator(function, grid, daemon=client)
+    flat_indices = np.array([4, 0, 17, grid.size - 1])
+    served = generator.evaluate_indices(flat_indices)
+    assert client.last_served_by == "daemon-computed"
+    local = LandscapeGenerator(function, grid).local_evaluate_indices(
+        flat_indices
+    )
+    np.testing.assert_allclose(served, local, rtol=0.0, atol=1e-10)
+    assert _client(daemon).stats()["counters"]["sparse_computed"] == 1
+
+
+def test_compute_indices_reads_through_cached_dense(daemon, ansatz, grid):
+    """An exact sparse request is answered from a cached dense
+    landscape without touching the pool."""
+    function = cost_function(ansatz)
+    client = _client(daemon)
+    generator = LandscapeGenerator(function, grid, daemon=client)
+    truth = generator.grid_search()
+    flat_indices = np.array([3, 60, 1, 44])
+    served = generator.evaluate_indices(flat_indices)
+    assert client.last_served_by == "daemon-readthrough"
+    np.testing.assert_array_equal(served, truth.flat()[flat_indices])
+    counters = client.stats()["counters"]
+    assert counters["sparse_hits"] == 1
+    assert counters["sparse_computed"] == 0
+
+
+def test_shot_noise_sparse_never_reads_through(daemon, ansatz, grid):
+    """A cached shot-noise dense landscape is a *different draw* than
+    evaluating the subset, so stochastic requests always compute."""
+    client = _client(daemon)
+    # Prime the store with the seeded dense landscape.
+    dense_function = cost_function(
+        ansatz, shots=96, rng=np.random.default_rng(0)
+    )
+    client.get_or_compute(dense_function, grid, seed=5)
+    sparse_function = cost_function(
+        ansatz, shots=96, rng=np.random.default_rng(0)
+    )
+    generator = LandscapeGenerator(
+        sparse_function, grid, seed=5, daemon=client
+    )
+    generator.evaluate_indices([2, 9, 31])
+    assert client.last_served_by == "daemon-computed"
+    assert client.stats()["counters"]["sparse_hits"] == 0
+
+
+def test_out_of_range_indices_are_a_daemon_error(daemon, ansatz, grid):
+    """Bounds validation runs server-side too (the client library
+    validates in the generator, but the protocol must not trust it)."""
+    client = _client(daemon)
+    with pytest.raises(DaemonError, match="negative"):
+        client.evaluate_indices(cost_function(ansatz), grid, [-3])
+    with pytest.raises(DaemonError, match="out of range"):
+        client.evaluate_indices(cost_function(ansatz), grid, [grid.size])
+    assert client.is_alive()
+
+
+def test_concurrent_sparse_requests_dedup(daemon, grid):
+    """Identical concurrent index sets single-flight into one
+    evaluation, keyed on (dense spec, index set)."""
+    function = _SlowConstant(delay=0.4)
+    flat_indices = np.array([1, 5, 9])
+    results: list = []
+    errors: list = []
+    barrier = threading.Barrier(3)
+
+    def request():
+        try:
+            barrier.wait(timeout=10.0)
+            client = _client(daemon)
+            results.append(
+                client.evaluate_indices(function, grid, flat_indices)
+            )
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=request) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not errors
+    assert len(results) == 3
+    for values in results[1:]:
+        np.testing.assert_array_equal(values, results[0])
+    counters = _client(daemon).stats()["counters"]
+    assert counters["sparse_computed"] == 1
+    assert counters["sparse_deduped"] == 2
+
+
+def test_evaluate_indices_falls_back_without_daemon(tmp_path, ansatz, grid):
+    function = cost_function(ansatz)
+    generator = LandscapeGenerator(
+        function, grid, daemon=tmp_path / "never-bound.sock"
+    )
+    flat_indices = np.array([0, 7, 33])
+    values = generator.evaluate_indices(flat_indices)
+    local = LandscapeGenerator(function, grid).local_evaluate_indices(
+        flat_indices
+    )
+    np.testing.assert_array_equal(values, local)
+
+
+def test_sparse_rng_round_trips(daemon, ansatz, grid):
+    """A seeded shot-noise sparse request leaves the client's bound rng
+    exactly where the daemon's evaluation left its copy."""
+    daemon_function = cost_function(
+        ansatz, shots=64, rng=np.random.default_rng(21)
+    )
+    client = _client(daemon)
+    generator = LandscapeGenerator(
+        daemon_function, grid, seed=9, daemon=client
+    )
+    flat_indices = np.array([8, 2, 40])
+    served = generator.evaluate_indices(flat_indices)
+
+    local_function = cost_function(
+        ansatz, shots=64, rng=np.random.default_rng(21)
+    )
+    local = LandscapeGenerator(
+        local_function, grid, seed=9
+    ).local_evaluate_indices(flat_indices)
+    np.testing.assert_allclose(served, local, rtol=0.0, atol=1e-10)
+    assert (
+        daemon_function.rng.integers(1 << 63)
+        == local_function.rng.integers(1 << 63)
+    )
+
+
+# -- the one-request pipeline -------------------------------------------------
+
+
+def test_pipeline_op_matches_local_run(daemon, ansatz, grid):
+    """A daemon-served pipeline returns the same samples, values,
+    landscape and optimizer trajectory as the in-process sequence."""
+    from repro.service import PipelineConfig
+
+    function = cost_function(ansatz)
+    client = _client(daemon)
+    config = PipelineConfig(fraction=0.25, optimizer="nelder-mead")
+    served = LandscapeGenerator(function, grid, daemon=client).run_pipeline(
+        config, sample_rng=3
+    )
+    assert served.served_by == "daemon"
+    assert client.last_served_by == "daemon-pipeline"
+
+    local = LandscapeGenerator(function, grid).run_pipeline(
+        config, sample_rng=3
+    )
+    np.testing.assert_array_equal(served.flat_indices, local.flat_indices)
+    np.testing.assert_array_equal(served.values, local.values)
+    np.testing.assert_array_equal(
+        served.landscape.values, local.landscape.values
+    )
+    np.testing.assert_array_equal(
+        served.optimization.path, local.optimization.path
+    )
+    assert served.optimization.num_queries == local.optimization.num_queries
+    assert set(served.timings) == {
+        "sample", "evaluate", "reconstruct", "optimize",
+    }
+
+    # Reproducible request -> the reconstruction is cached under a
+    # pipeline spec whose key the response hands back.
+    assert served.key is not None
+    cached = client.get(served.key)
+    np.testing.assert_array_equal(cached.values, served.landscape.values)
+    assert client.stats()["counters"]["pipeline_runs"] == 1
+
+
+def test_pipeline_sample_rng_round_trips(daemon, ansatz, grid):
+    """A Generator sample_rng advances in the caller's process exactly
+    as a local run advances it (and yields no cache key)."""
+    from repro.service import PipelineConfig
+
+    function = cost_function(ansatz)
+    client = _client(daemon)
+    config = PipelineConfig(fraction=0.2)
+    daemon_rng = np.random.default_rng(17)
+    served = LandscapeGenerator(function, grid, daemon=client).run_pipeline(
+        config, sample_rng=daemon_rng
+    )
+    local_rng = np.random.default_rng(17)
+    local = LandscapeGenerator(function, grid).run_pipeline(
+        config, sample_rng=local_rng
+    )
+    np.testing.assert_array_equal(served.flat_indices, local.flat_indices)
+    assert served.key is None
+    assert daemon_rng.integers(1 << 63) == local_rng.integers(1 << 63)
+
+
+def test_pipeline_falls_back_without_daemon(tmp_path, ansatz, grid):
+    from repro.service import PipelineConfig
+
+    function = cost_function(ansatz)
+    generator = LandscapeGenerator(
+        function, grid, daemon=tmp_path / "never-bound.sock"
+    )
+    outcome = generator.run_pipeline(
+        PipelineConfig(fraction=0.2), sample_rng=3
+    )
+    assert outcome.served_by == "local"
+    local = LandscapeGenerator(function, grid).run_pipeline(
+        PipelineConfig(fraction=0.2), sample_rng=3
+    )
+    np.testing.assert_array_equal(
+        outcome.optimization.path, local.optimization.path
+    )
+
+
+def test_pipeline_config_validation():
+    from repro.service import PipelineConfig
+
+    with pytest.raises(ValueError, match="fraction"):
+        PipelineConfig(fraction=0.0)
+    with pytest.raises(ValueError, match="sampler"):
+        PipelineConfig(fraction=0.1, sampler="sobol")
+    with pytest.raises(ValueError, match="optimizer"):
+        PipelineConfig(fraction=0.1, optimizer="bfgs")
+
+
+def test_pipeline_op_rejects_non_config_task(daemon, ansatz, grid):
+    import pickle
+
+    from repro.service.daemon import encode_blob
+
+    task = {
+        "function": cost_function(ansatz),
+        "grid": grid,
+        "config": {"fraction": 0.1},
+        "sample_rng": 0,
+        "batch_size": None,
+        "seed": None,
+        "shard_points": None,
+    }
+    with pytest.raises(DaemonError, match="PipelineConfig"):
+        _client(daemon)._request(
+            {"op": "pipeline", "task": encode_blob(pickle.dumps(task))}
+        )
+
+
 # -- CLI wiring ---------------------------------------------------------------
 
 
@@ -345,6 +594,25 @@ def test_cli_reconstruct_through_daemon(daemon, capsys):
     assert _client(daemon).stats()["counters"]["computed"] >= 1
 
 
+def test_cli_pipeline_through_daemon(daemon, capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "pipeline",
+            "--qubits", "6",
+            "--resolution", "6", "12",
+            "--fraction", "0.3",
+            "--daemon", str(daemon.socket_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "served by: daemon" in out
+    assert "cached as" in out  # integer --seed makes the run cacheable
+    assert _client(daemon).stats()["counters"]["pipeline_runs"] == 1
+
+
 def test_cli_cache_stats_directory_and_daemon(daemon, tmp_path, capsys):
     from repro.cli import main
 
@@ -353,6 +621,8 @@ def test_cli_cache_stats_directory_and_daemon(daemon, tmp_path, capsys):
     assert main(["cache", "stats", "--socket", str(daemon.socket_path)]) == 0
     out = capsys.readouterr().out
     assert "daemon pid" in out and "requests" in out
+    # Per-op counters from the stats op (dense + sparse + pipeline).
+    assert "read-through" in out and "pipelines" in out
     assert main(["cache", "list", "--socket", str(daemon.socket_path)]) == 0
     assert "daemon" in capsys.readouterr().out
     assert main(["cache", "stats"]) == 2  # neither --cache-dir nor --socket
