@@ -8,6 +8,11 @@ that pool and cache instead of each paying pool startup and keeping a
 private store.  Concurrent identical requests are *single-flighted*:
 the daemon computes once and every waiting client gets the result.
 
+With ``tcp=`` and a ``tokens_file`` the same daemon also serves the
+network: an asyncio TCP listener speaking the pickle-free v2 protocol,
+bearer-token auth, and one store *namespace per tenant* — while exact
+identical requests still compute only once across tenants.
+
 This script demonstrates the full loop in one process:
 
 1. start a daemon on a background thread (as tests and notebooks do;
@@ -15,13 +20,18 @@ This script demonstrates the full loop in one process:
 2. let two concurrent clients request the *same* landscape — watch the
    dedup counter: one computation, two answers,
 3. ask again — a warm cache hit,
-4. show stats, then shut the daemon down over the socket.
+4. show stats, then shut the daemon down over the socket,
+5. start a second daemon with a TCP front and two tenants — same
+   landscape requested by both costs one computation, each tenant's
+   copy lands in its own namespace, and an unauthenticated caller gets
+   a structured ``auth`` refusal.
 
 Run with:  python examples/landscape_daemon.py
 """
 
 from __future__ import annotations
 
+import json
 import tempfile
 import threading
 import time
@@ -32,7 +42,65 @@ import numpy as np
 from repro.ansatz import QaoaAnsatz
 from repro.landscape import cost_function, qaoa_grid
 from repro.problems import random_3_regular_maxcut
-from repro.service import LandscapeClient, LandscapeDaemon
+from repro.service import DaemonError, LandscapeClient, LandscapeDaemon
+
+
+def two_tenants_over_tcp() -> None:
+    """The network front: token auth, per-tenant stores, shared compute."""
+    ansatz = QaoaAnsatz(random_3_regular_maxcut(8, seed=3), p=1)
+    grid = qaoa_grid(p=1, resolution=(20, 40))
+    function = cost_function(ansatz)
+
+    with tempfile.TemporaryDirectory() as root:
+        tokens = Path(root) / "tokens.json"
+        tokens.write_text(
+            json.dumps({"alice": "tok-alice", "bob": "tok-bob"})
+        )
+        daemon = LandscapeDaemon(
+            Path(root) / "daemon.sock",
+            workers=1,
+            cache_dir=Path(root) / "cache",
+            tcp=("127.0.0.1", 0),  # ephemeral port; production picks one
+            tokens_file=tokens,
+        )
+        daemon.start()
+        host, port = daemon.tcp_address
+        target = f"tcp://{host}:{port}"
+        print(f"daemon up on {target} (tokens: alice, bob)")
+
+        alice = LandscapeClient(target, token="tok-alice", fallback=False)
+        bob = LandscapeClient(target, token="tok-bob", fallback=False)
+        first = alice.get_or_compute(function, grid, label="shared")
+        second = bob.get_or_compute(function, grid, label="shared")
+        assert np.array_equal(first.values, second.values)
+        counters = alice.stats()["counters"]
+        print(
+            f"  alice then bob, same spec: computed={counters['computed']} "
+            f"(bob was served read-through into his own namespace)"
+        )
+        assert counters["computed"] == 1
+
+        # Each tenant's copy lives in its own store namespace.
+        tenants = alice.stats()["tenants"]
+        for name in ("alice", "bob"):
+            entries = tenants[name]["store"]["entries"]
+            print(f"  tenant {name}: {entries} cached entr(y/ies)")
+            assert entries == 1
+
+        # No token, no service: the refusal is structured, not a crash.
+        try:
+            LandscapeClient(target, fallback=False).get_or_compute(
+                function, grid, label="shared"
+            )
+        except DaemonError as error:
+            print(f"  unauthenticated caller: code={error.code!r}")
+            assert error.code == "auth"
+        else:  # pragma: no cover - the daemon must refuse
+            raise AssertionError("unauthenticated request was served")
+
+        alice.shutdown()
+        daemon.close()
+        print("tcp daemon stopped")
 
 
 def main() -> None:
@@ -97,6 +165,8 @@ def main() -> None:
         client.shutdown()
         daemon.close()
         print("daemon stopped")
+
+    two_tenants_over_tcp()
 
 
 if __name__ == "__main__":

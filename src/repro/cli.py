@@ -14,8 +14,10 @@ code:
   evaluate, reconstruct and optimize in a single daemon round-trip
   (or the identical in-process sequence without ``--daemon``);
 - ``oscar-repro serve`` — run the landscape daemon (persistent worker
-  pool + shared cache behind a Unix socket); ``--daemon`` on the other
-  commands routes their landscape generation through it;
+  pool + shared cache behind a Unix socket, plus an authenticated TCP
+  listener with ``--tcp``/``--tokens-file``); ``--daemon`` on the
+  other commands routes their landscape generation through it
+  (``--token`` authenticates against a token-gated daemon);
 - ``oscar-repro cache`` — list, clear or summarize a landscape store.
 """
 
@@ -84,12 +86,18 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument(
             "--daemon",
             default=None,
-            metavar="SOCKET",
+            metavar="TARGET",
             help="route landscape generation through the daemon on this "
-            "Unix socket (see `oscar-repro serve`): shared persistent "
-            "pool, shared cache, concurrent identical requests computed "
-            "once.  Falls back to in-process execution when no daemon "
-            "is listening",
+            "Unix socket path or `tcp://host:port` target (see "
+            "`oscar-repro serve`): shared persistent pool, shared cache, "
+            "concurrent identical requests computed once.  Falls back to "
+            "in-process execution when no daemon is listening",
+        )
+        command.add_argument(
+            "--token",
+            default=None,
+            help="bearer token for an authenticated daemon (required for "
+            "tcp:// targets; resolves to a tenant namespace server-side)",
         )
 
     recon = sub.add_parser("reconstruct", help="reconstruct a QAOA landscape")
@@ -162,13 +170,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="run the landscape daemon (persistent pool + shared cache "
-        "on a Unix socket)",
+        "on a Unix socket, optionally an authenticated TCP listener)",
     )
     serve.add_argument(
         "--socket",
         default=None,
         help="Unix-socket path to bind (default: oscar-repro.sock in "
         "the working directory)",
+    )
+    serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="also listen on TCP (pickle-free v2 protocol only; requires "
+        "--tokens-file).  Port 0 binds an ephemeral port, printed at "
+        "startup",
+    )
+    serve.add_argument(
+        "--tokens-file",
+        default=None,
+        metavar="FILE",
+        help="JSON bearer-token file mapping tenant names to tokens "
+        '(`{"alice": "tok", "bob": {"token": "...", "quota_bytes": 1000}}`); '
+        "each tenant gets its own store namespace",
+    )
+    serve.add_argument(
+        "--tenant-quota-bytes",
+        type=int,
+        default=None,
+        help="default per-tenant store byte budget for tenants whose "
+        "credential does not set quota_bytes (default: unbounded)",
     )
     serve.add_argument(
         "--workers",
@@ -209,9 +240,17 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--socket",
         default=None,
-        help="ask a running daemon instead of reading a directory "
-        "(stats: live hit/miss/dedup counters; list: the daemon's "
+        metavar="TARGET",
+        help="ask a running daemon instead of reading a directory — a "
+        "Unix socket path or `tcp://host:port` (stats: live hit/miss/"
+        "dedup counters and per-tenant accounting; list: the daemon's "
         "index; clear is directory-only)",
+    )
+    cache.add_argument(
+        "--token",
+        default=None,
+        help="bearer token for an authenticated daemon (required for "
+        "tcp:// targets)",
     )
 
     batch = sub.add_parser(
@@ -237,9 +276,16 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--daemon",
         default=None,
-        metavar="SOCKET",
+        metavar="TARGET",
         help="serve the dense ground-truth landscape through the daemon "
-        "on this Unix socket (in-process fallback when absent)",
+        "on this Unix socket path or `tcp://host:port` target "
+        "(in-process fallback when absent)",
+    )
+    batch.add_argument(
+        "--token",
+        default=None,
+        help="bearer token for an authenticated daemon (required for "
+        "tcp:// targets)",
     )
     add_batch_size(batch)
 
@@ -329,6 +375,7 @@ def _command_reconstruct(args: argparse.Namespace) -> int:
         else None,
         store=_store(args),
         daemon=args.daemon,
+        daemon_token=args.token,
     )
     truth = generator.grid_search(label="grid-search")
     oscar = OscarReconstructor(grid, rng=args.seed)
@@ -352,6 +399,7 @@ def _command_sycamore(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=_store(args),
         daemon=args.daemon,
+        daemon_token=args.token,
     )
     oscar = OscarReconstructor(hardware.grid, rng=args.seed)
     indices = oscar.sample_indices(args.fraction)
@@ -377,6 +425,7 @@ def _command_speedup(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=_store(args),
         daemon=args.daemon,
+        daemon_token=args.token,
     )
     print(
         f"grid: {result.grid_executions} executions  "
@@ -398,6 +447,7 @@ def _command_sparsity(args: argparse.Namespace) -> int:
         workers=args.workers,
         store=_store(args),
         daemon=args.daemon,
+        daemon_token=args.token,
     )
     truth = generator.grid_search()
     fraction = truth.dct_sparsity()
@@ -475,6 +525,7 @@ def _command_batch(args: argparse.Namespace) -> int:
         grid,
         batch_size=args.batch_size,
         daemon=args.daemon,
+        daemon_token=args.token,
     )
     truth = generator.grid_search(label="grid-search")
     oscar = OscarReconstructor(grid, rng=args.seed)
@@ -532,6 +583,7 @@ def _command_pipeline(args: argparse.Namespace) -> int:
         else None,
         store=_store(args),
         daemon=args.daemon,
+        daemon_token=args.token,
     )
     config = PipelineConfig(
         fraction=args.fraction,
@@ -570,18 +622,46 @@ def _command_serve(args: argparse.Namespace) -> int:
     from .service import DEFAULT_SOCKET, LandscapeDaemon
 
     socket_path = args.socket or DEFAULT_SOCKET
-    daemon = LandscapeDaemon(
-        socket_path,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        max_bytes=args.max_bytes,
-        shard_points=args.shard_points,
-    )
+    tcp = None
+    if args.tcp is not None:
+        host, _, port = args.tcp.rpartition(":")
+        if not port.isdigit():
+            print(f"serve: --tcp expects HOST:PORT, got {args.tcp!r}")
+            return 2
+        tcp = (host or "127.0.0.1", int(port))
+    try:
+        daemon = LandscapeDaemon(
+            socket_path,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            max_bytes=args.max_bytes,
+            shard_points=args.shard_points,
+            tcp=tcp,
+            tokens_file=args.tokens_file,
+            tenant_quota_bytes=args.tenant_quota_bytes,
+        )
+    except ValueError as error:
+        print(f"serve: {error}")
+        return 2
     cache = args.cache_dir or "disabled (in-flight dedup only)"
+    try:
+        # Bind before printing the banner so --tcp HOST:0 reports the
+        # ephemeral port it actually got (serve_forever's own bind is
+        # idempotent).
+        daemon._bind()
+    except OSError as error:
+        print(f"serve: cannot bind: {error}")
+        return 2
     print(
         f"landscape daemon: socket {socket_path}  workers {args.workers}  "
         f"cache {cache}"
     )
+    if daemon.tcp_address is not None:
+        host, port = daemon.tcp_address
+        print(
+            f"  tcp tcp://{host}:{port}  (bearer tokens from "
+            f"{args.tokens_file})"
+        )
     print("serving; stop with Ctrl-C or a client shutdown request")
     try:
         daemon.serve_forever()
@@ -594,14 +674,22 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_cache(args: argparse.Namespace) -> int:
-    from .service import DaemonUnavailable, LandscapeClient, LandscapeStore
+    from .service import (
+        DaemonError,
+        DaemonUnavailable,
+        LandscapeClient,
+        LandscapeStore,
+    )
 
     if args.socket is not None and args.action in ("list", "stats"):
-        client = LandscapeClient(args.socket, fallback=False)
+        client = LandscapeClient(args.socket, fallback=False, token=args.token)
         try:
             return _cache_from_daemon(client, args.action)
         except DaemonUnavailable:
             print(f"cache: no landscape daemon reachable on {args.socket}")
+            return 2
+        except DaemonError as error:
+            print(f"cache: daemon refused the request: {error}")
             return 2
 
     if args.cache_dir is None:
@@ -672,6 +760,22 @@ def _cache_from_daemon(client, action: str) -> int:
                 f"{store['payload_bytes']} payload bytes in "
                 f"{store['root']}"
             )
+        for tenant, accounting in stats.get("tenants", {}).items():
+            ops = "  ".join(
+                f"{op} {count}"
+                for op, count in sorted(accounting.get("ops", {}).items())
+            )
+            tenant_store = accounting.get("store")
+            if tenant_store is None:
+                usage = "store disabled"
+            else:
+                budget = tenant_store.get("max_bytes")
+                budget = "unbounded" if budget is None else f"{budget} B quota"
+                usage = (
+                    f"{tenant_store['entries']} entries, "
+                    f"{tenant_store['payload_bytes']} B ({budget})"
+                )
+            print(f"  tenant {tenant}: {usage}" + (f"  ops: {ops}" if ops else ""))
         return 0
     entries = client.index()
     if not entries:

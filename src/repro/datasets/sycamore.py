@@ -109,6 +109,7 @@ def sycamore_landscape(
     workers: int = 1,
     store=None,
     daemon=None,
+    daemon_token=None,
 ) -> tuple[Landscape, Landscape]:
     """Generate a (hardware-like, ideal) landscape pair.
 
@@ -125,9 +126,12 @@ def sycamore_landscape(
         store: optional :class:`~repro.service.store.LandscapeStore`;
             the (exact) ideal landscape is then served from cache on
             repeated calls, leaving only the cheap noise synthesis.
-        daemon: socket path (or client) of a running landscape daemon;
-            the ideal landscape is then served by the daemon's shared
-            pool/cache, with in-process fallback.
+        daemon: socket path, ``tcp://host:port`` target (or client) of
+            a running landscape daemon; the ideal landscape is then
+            served by the daemon's shared pool/cache, with in-process
+            fallback.
+        daemon_token: bearer token for an authenticated daemon
+            (required for ``tcp://`` targets).
 
     Returns:
         ``(hardware, ideal)`` landscapes on the same 50 x 50 grid.
@@ -145,6 +149,7 @@ def sycamore_landscape(
         workers=workers,
         store=store,
         daemon=daemon,
+        daemon_token=daemon_token,
     )
     ideal = generator.grid_search(label=f"sycamore-{kind}-ideal")
 

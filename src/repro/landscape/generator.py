@@ -249,7 +249,7 @@ class LandscapeGenerator:
         store: a :class:`~repro.service.store.LandscapeStore`;
             :meth:`grid_search` then serves repeated requests from the
             cache (see :meth:`cache_spec`).
-        daemon: socket path of a running
+        daemon: socket path or ``tcp://host:port`` target of a running
             :class:`~repro.service.daemon.LandscapeDaemon` (or a
             :class:`~repro.service.client.LandscapeClient`);
             :meth:`grid_search` is then served by the daemon — shared
@@ -257,6 +257,10 @@ class LandscapeGenerator:
             requests computed once — and transparently falls back to
             this generator's own in-process path (honouring
             ``workers``/``store``) when no daemon is listening.
+        daemon_token: bearer token presented to an authenticated
+            daemon (required for ``tcp://`` targets; resolves to a
+            tenant store namespace server-side).  Ignored when
+            ``daemon=`` is already a client.
         executor_pool: an already-running ``multiprocessing`` pool the
             sharded executor should reuse instead of forking per call
             (how the daemon itself executes requests); the pool's
@@ -288,6 +292,7 @@ class LandscapeGenerator:
         seed: int | None = None,
         store: "LandscapeStore | None" = None,
         daemon=None,
+        daemon_token: str | None = None,
         executor_pool=None,
     ):
         self.function = function
@@ -302,6 +307,7 @@ class LandscapeGenerator:
         self.seed = None if seed is None else int(seed)
         self.store = store
         self.daemon = daemon
+        self.daemon_token = daemon_token
         self.executor_pool = executor_pool
 
     def _resolved_batch_size(self) -> int:
@@ -336,7 +342,7 @@ class LandscapeGenerator:
 
         if isinstance(self.daemon, LandscapeClient):
             return self.daemon
-        return LandscapeClient(self.daemon)
+        return LandscapeClient(self.daemon, token=self.daemon_token)
 
     def evaluate_points(self, points: np.ndarray) -> np.ndarray:
         """Cost values for an ``(m, ndim)`` array of parameter vectors.

@@ -14,9 +14,15 @@ package is the first step toward a system that serves repeated traffic:
 
 - :mod:`repro.service.daemon` / :mod:`repro.service.client` — a
   long-running :class:`LandscapeDaemon` owning one persistent pool and
-  one store behind a Unix-domain socket (JSON-lines protocol), and the
-  :class:`LandscapeClient` library that talks to it with transparent
-  in-process fallback.
+  one store behind a Unix-domain socket (JSON-lines protocol) and,
+  with ``tcp=`` + ``tokens_file=``, an authenticated asyncio TCP
+  listener speaking the pickle-free v2 protocol, and the
+  :class:`LandscapeClient` library that talks to either (Unix path or
+  ``tcp://host:port`` target) with transparent in-process fallback;
+- :mod:`repro.service.protocol` — the v2 wire protocol itself: the
+  declarative spec registry (ansatz/function/grid/noise specs resolved
+  server-side), typed array + rng-state codecs, bearer-token
+  credentials and the structured :class:`ProtocolError` codes.
 
 All of it wires into :class:`repro.landscape.generator.LandscapeGenerator`
 through its ``workers=``, ``shard_points=``, ``seed=``, ``store=`` and
@@ -28,8 +34,17 @@ for the layer map.
 from .client import DaemonError, DaemonUnavailable, LandscapeClient
 from .daemon import DEFAULT_SOCKET, LandscapeDaemon
 from .pipeline import PipelineConfig, PipelineOutcome, run_pipeline
+from .protocol import (
+    DEFAULT_TENANT,
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    TenantCredential,
+    authenticate,
+    load_tokens,
+)
 from .shards import Shard, ShardedExecutor, plan_shards
-from .store import LandscapeSpec, LandscapeStore, StoreEntry
+from .store import LandscapeSpec, LandscapeStore, StoreEntry, TenantStores
 
 __all__ = [
     "Shard",
@@ -38,11 +53,19 @@ __all__ = [
     "LandscapeSpec",
     "LandscapeStore",
     "StoreEntry",
+    "TenantStores",
     "LandscapeDaemon",
     "LandscapeClient",
     "DaemonError",
     "DaemonUnavailable",
     "DEFAULT_SOCKET",
+    "DEFAULT_TENANT",
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "ProtocolError",
+    "TenantCredential",
+    "authenticate",
+    "load_tokens",
     "PipelineConfig",
     "PipelineOutcome",
     "run_pipeline",

@@ -2,20 +2,32 @@
 
 :class:`LandscapeClient` talks the JSON-lines protocol of
 :class:`~repro.service.daemon.LandscapeDaemon` over its Unix-domain
-socket.  The headline call is :meth:`LandscapeClient.get_or_compute`,
-which ships a cost function + grid to the daemon and gets a
+socket **or** its authenticated TCP front (``tcp://host:port`` targets).
+The headline call is :meth:`LandscapeClient.get_or_compute`, which ships
+a cost function + grid to the daemon and gets a
 :class:`~repro.landscape.landscape.Landscape` back — served from the
 daemon's shared store when cached, computed once on its persistent pool
 otherwise (concurrent identical requests are deduplicated server-side).
+
+Two protocol generations live behind one API:
+
+- requests that can describe themselves declaratively (registered
+  ansatz/cost-function/grid/noise types) travel as **pickle-free v2
+  frames** built from the :mod:`repro.service.protocol` spec registry —
+  the only dialect the TCP front accepts;
+- requests that cannot (closures, duck-typed test grids) fall back to
+  the **legacy pickled v1 frames**, which the daemon only honours on the
+  Unix socket.  Over TCP such requests fail client-side with a
+  :class:`DaemonError` rather than ship un-describable payloads.
 
 The client **falls back transparently** to in-process execution when no
 daemon is listening (socket missing, connection refused, daemon gone
 mid-request), so library code can pass ``daemon=`` unconditionally: with
 a daemon running requests share one pool and one cache, without one they
 behave exactly as before.  Server-side *errors* (a malformed task, shot
-noise without a seed) are raised as :class:`DaemonError` instead — a
-reachable daemon rejecting a request is a bug to surface, not a reason
-to silently recompute.
+noise without a seed, a bad token) are raised as :class:`DaemonError`
+instead — a reachable daemon rejecting a request is a bug to surface,
+not a reason to silently recompute.
 
 Example — no daemon on this socket, so the call computes locally::
 
@@ -47,34 +59,72 @@ import numpy as np
 from ..ansatz.base import Ansatz
 from ..landscape.landscape import Landscape
 from .daemon import decode_blob, encode_blob, read_response, write_message
+from .protocol import (
+    PROTOCOL_VERSION,
+    ansatz_to_spec,
+    apply_rng_state,
+    decode_array,
+    encode_array,
+    encode_rng_state,
+    function_to_spec,
+    grid_to_spec,
+    noise_to_spec,
+)
 
 __all__ = ["DaemonError", "DaemonUnavailable", "LandscapeClient"]
 
 
 class DaemonUnavailable(ConnectionError):
-    """No daemon is reachable on the socket (triggers local fallback)."""
+    """No daemon is reachable on the target (triggers local fallback)."""
 
 
 class DaemonError(RuntimeError):
     """The daemon answered with a structured error response."""
 
-    def __init__(self, kind: str, message: str):
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        code: str | None = None,
+        retryable: bool = False,
+    ):
         super().__init__(f"{kind}: {message}")
         #: exception type name reported by the daemon
         self.kind = kind
+        #: v2 machine-readable error code (``None`` from v1 daemons)
+        self.code = code
+        #: whether the daemon marked the failure as safe to retry
+        self.retryable = retryable
+
+
+def _parse_target(target: str | Path) -> tuple[Path | None, tuple[str, int] | None]:
+    """``(socket_path, tcp_address)`` — exactly one is non-``None``."""
+    if isinstance(target, str) and target.startswith("tcp://"):
+        rest = target[len("tcp://") :]
+        host, separator, port = rest.rpartition(":")
+        if not separator or not port.isdigit():
+            raise ValueError(
+                f"TCP target must look like tcp://host:port, got {target!r}"
+            )
+        return None, (host or "127.0.0.1", int(port))
+    return Path(target), None
 
 
 class LandscapeClient:
     """Talks to a :class:`~repro.service.daemon.LandscapeDaemon`.
 
     Args:
-        socket_path: the daemon's Unix-socket path.
+        target: the daemon's Unix-socket path, or ``tcp://host:port``
+            for the authenticated TCP front.
         timeout: per-request socket timeout in seconds (``None`` waits
             indefinitely — computes can legitimately take minutes).
         fallback: whether :meth:`get_or_compute` computes in-process
             when no daemon is reachable.  ``False`` raises
             :class:`DaemonUnavailable` instead (the equivalence harness
             uses this so a dead daemon fails loudly).
+        token: bearer token attached to every v2 frame.  Required for
+            TCP targets; optional on the Unix socket (where it selects
+            a tenant namespace instead of the default one).
 
     The instance counts :attr:`fallbacks` (requests served locally) and
     remembers :attr:`last_served_by` (``"daemon-hit"``,
@@ -84,17 +134,38 @@ class LandscapeClient:
 
     def __init__(
         self,
-        socket_path: str | Path,
+        target: str | Path,
         timeout: float | None = None,
         fallback: bool = True,
+        token: str | None = None,
     ):
-        self.socket_path = Path(socket_path)
+        self.socket_path, self.tcp_address = _parse_target(target)
         self.timeout = timeout
         self.fallback = fallback
+        self.token = token
         self.fallbacks = 0
         self.last_served_by: str | None = None
 
+    @property
+    def target(self) -> str:
+        """Human-readable form of wherever this client points."""
+        if self.tcp_address is not None:
+            return f"tcp://{self.tcp_address[0]}:{self.tcp_address[1]}"
+        return str(self.socket_path)
+
     # -- transport ---------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self.tcp_address is not None:
+            return socket.create_connection(self.tcp_address, timeout=self.timeout)
+        connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            connection.settimeout(self.timeout)
+            connection.connect(str(self.socket_path))
+        except BaseException:
+            connection.close()
+            raise
+        return connection
 
     def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
         """One request/response round trip on a fresh connection.
@@ -103,61 +174,92 @@ class LandscapeClient:
         protocol-level failures raise :class:`DaemonError`.
         """
         try:
-            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as connection:
-                connection.settimeout(self.timeout)
-                connection.connect(str(self.socket_path))
+            with self._connect() as connection:
                 with connection.makefile("rwb") as stream:
                     write_message(stream, payload)
                     response = read_response(stream)
         except (OSError, ConnectionError) as error:
             raise DaemonUnavailable(
-                f"no landscape daemon reachable on {self.socket_path}: {error}"
+                f"no landscape daemon reachable on {self.target}: {error}"
             ) from error
         if not response.get("ok"):
             error = response.get("error") or {}
             raise DaemonError(
                 str(error.get("type", "UnknownError")),
                 str(error.get("message", "")),
+                code=error.get("code"),
+                retryable=bool(error.get("retryable", False)),
             )
         return response
+
+    def _v2_frame(self, op: str, **fields: Any) -> dict[str, Any]:
+        """A versioned frame with the client's token attached."""
+        frame: dict[str, Any] = {"version": PROTOCOL_VERSION, "op": op}
+        if self.token is not None:
+            frame["token"] = self.token
+        frame.update(fields)
+        return frame
+
+    def _v1_frame(self, op: str, task: dict[str, Any], **fields: Any) -> dict[str, Any]:
+        """A legacy pickled frame — refused client-side over TCP.
+
+        The TCP front never unpickles, so shipping a pickled task there
+        would only earn an ``unknown-op`` from the daemon; failing here
+        names the actual problem (the payload cannot be described
+        declaratively).
+        """
+        if self.tcp_address is not None:
+            raise DaemonError(
+                "ProtocolError",
+                f"{op}: this request cannot be expressed as a declarative "
+                "v2 spec (unregistered cost function, ansatz, or grid "
+                "type), and the legacy pickle protocol is Unix-socket "
+                "only",
+                code="invalid-spec",
+            )
+        return {"op": op, "task": encode_blob(pickle.dumps(task)), **fields}
 
     # -- probes and maintenance --------------------------------------------
 
     def is_alive(self) -> bool:
-        """Whether a daemon answers a ``ping`` on the socket."""
+        """Whether a daemon answers a ``ping`` on the target."""
         try:
-            self._request({"op": "ping"})
+            self.ping()
             return True
         except DaemonUnavailable:
             return False
 
     def ping(self) -> dict[str, Any]:
         """The daemon's ``ping`` response (pid, workers, uptime)."""
-        return self._request({"op": "ping"})
+        return self._request(self._v2_frame("ping"))
 
     def stats(self) -> dict[str, Any]:
         """Request/hit/miss/dedup counters plus the store summary."""
-        response = self._request({"op": "stats"})
+        response = self._request(self._v2_frame("stats"))
         response.pop("ok", None)
+        response.pop("version", None)
         return response
 
     def index(self) -> list[dict[str, Any]]:
-        """The daemon store's entry listing (LRU first)."""
-        return list(self._request({"op": "index"})["entries"])
+        """The daemon store's entry listing (LRU first), scoped to this
+        client's tenant namespace."""
+        return list(self._request(self._v2_frame("index"))["entries"])
 
     def invalidate(self, key: str) -> bool:
         """Drop one cached entry by key; returns whether it existed."""
-        return bool(self._request({"op": "invalidate", "key": key})["removed"])
+        return bool(
+            self._request(self._v2_frame("invalidate", key=key))["removed"]
+        )
 
     def get(self, key: str) -> Landscape | None:
         """Fetch a cached landscape by key without ever computing."""
-        blob = self._request({"op": "get", "key": key})["landscape"]
+        blob = self._request(self._v2_frame("get", key=key))["landscape"]
         return None if blob is None else Landscape.from_bytes(decode_blob(blob))
 
     def shutdown(self) -> None:
         """Ask the daemon to stop serving (best-effort, returns after
         the daemon acknowledges)."""
-        self._request({"op": "shutdown"})
+        self._request(self._v2_frame("shutdown"))
 
     # -- the service path --------------------------------------------------
 
@@ -173,10 +275,12 @@ class LandscapeClient:
     ) -> Landscape:
         """A dense landscape for ``(function, grid)``, served or computed.
 
-        Ships the pickled cost function and grid to the daemon, which
-        derives the canonical :class:`~repro.service.store.LandscapeSpec`
-        itself, serves a store hit, or computes once on its persistent
-        pool (deduplicating concurrent identical requests).  ``seed`` /
+        Ships the cost function and grid to the daemon — declaratively
+        when both can describe themselves (v2), pickled otherwise
+        (Unix-only v1) — which derives the canonical
+        :class:`~repro.service.store.LandscapeSpec` itself, serves a
+        store hit, or computes once on its persistent pool
+        (deduplicating concurrent identical requests).  ``seed`` /
         ``shard_points`` fix the rng plan exactly as they do on
         :class:`~repro.landscape.generator.LandscapeGenerator` — shot
         noise needs ``seed=`` to be cacheable at all.
@@ -196,9 +300,7 @@ class LandscapeClient:
             "label": label,
         }
         try:
-            response = self._request(
-                {"op": "compute", "task": encode_blob(pickle.dumps(task)), "label": label}
-            )
+            response = self._request(self._compute_frame(task, label))
         except DaemonUnavailable:
             # fallback=False is the loud-failure configuration: it wins
             # even when the caller supplied a fallback callable (the
@@ -220,6 +322,21 @@ class LandscapeClient:
         if landscape.label != label:
             landscape = replace(landscape, label=label)
         return landscape
+
+    def _compute_frame(self, task: dict[str, Any], label: str) -> dict[str, Any]:
+        function_spec = function_to_spec(task["function"])
+        grid_spec = grid_to_spec(task["grid"])
+        if function_spec is not None and grid_spec is not None:
+            return self._v2_frame(
+                "compute",
+                function=function_spec,
+                grid=grid_spec,
+                batch_size=task["batch_size"],
+                seed=task["seed"],
+                shard_points=task["shard_points"],
+                label=label,
+            )
+        return self._v1_frame("compute", task, label=label)
 
     @staticmethod
     def _local_compute(task: dict[str, Any]) -> Landscape:
@@ -246,6 +363,34 @@ class LandscapeClient:
             shard_points=task["shard_points"],
         )
 
+    @staticmethod
+    def _writeback_rng(
+        rng: np.random.Generator | None, response: dict[str, Any], field: str = "rng"
+    ) -> None:
+        """Restore a caller generator to the daemon-advanced position.
+
+        v2 responses carry a JSON rng state; v1 responses carry the
+        pickled generator itself.  Either way the *caller's* object is
+        mutated in place, never replaced.
+        """
+        if rng is None:
+            return
+        payload = response.get(field)
+        if payload is None:
+            return
+        if isinstance(payload, dict):
+            apply_rng_state(rng, payload)
+        else:
+            advanced = pickle.loads(decode_blob(payload))
+            rng.bit_generator.state = advanced.bit_generator.state
+
+    @staticmethod
+    def _decode_values(payload: Any) -> np.ndarray:
+        """Values from either wire generation (typed codec vs pickle)."""
+        if isinstance(payload, dict):
+            return decode_array(payload)
+        return np.asarray(pickle.loads(decode_blob(payload)))
+
     # -- sparse evaluation (OSCAR's sampling path) -------------------------
 
     def evaluate_indices(
@@ -260,8 +405,8 @@ class LandscapeClient:
     ) -> np.ndarray:
         """Cost values at a flat-index subset, served by the daemon.
 
-        Ships the pickled cost function, grid and index set to the
-        daemon's ``compute_indices`` op: indices are bounds-validated
+        Ships the cost function, grid and index set to the daemon's
+        ``compute_indices`` op: indices are bounds-validated
         server-side, exact requests read through a cached dense
         landscape when the store holds one (no pool touch), and
         deterministic requests dedup against concurrent identical index
@@ -270,18 +415,33 @@ class LandscapeClient:
         draw-order contract.  Falls back in-process like
         :meth:`get_or_compute` when no daemon is reachable.
         """
+        indices = np.asarray(flat_indices, dtype=np.int64)
         task = {
             "function": function,
             "grid": grid,
-            "indices": np.asarray(flat_indices, dtype=np.int64),
+            "indices": indices,
             "batch_size": batch_size,
             "seed": seed,
             "shard_points": shard_points,
         }
-        try:
-            response = self._request(
-                {"op": "compute_indices", "task": encode_blob(pickle.dumps(task))}
+        rng = getattr(function, "rng", None)
+        function_spec = function_to_spec(function)
+        grid_spec = grid_to_spec(grid)
+        if function_spec is not None and grid_spec is not None:
+            frame = self._v2_frame(
+                "compute_indices",
+                function=function_spec,
+                grid=grid_spec,
+                indices=encode_array(indices),
+                batch_size=batch_size,
+                seed=seed,
+                shard_points=shard_points,
+                rng=None if rng is None else encode_rng_state(rng),
             )
+        else:
+            frame = self._v1_frame("compute_indices", task)
+        try:
+            response = self._request(frame)
         except DaemonUnavailable:
             if not self.fallback:
                 raise
@@ -289,14 +449,9 @@ class LandscapeClient:
             self.last_served_by = "local"
             if fallback is not None:
                 return np.asarray(fallback())
-            return self._local_generator(task).local_evaluate_indices(
-                task["indices"]
-            )
-        values = np.asarray(pickle.loads(decode_blob(response["values"])))
-        rng = getattr(function, "rng", None)
-        if rng is not None and response.get("rng") is not None:
-            advanced = pickle.loads(decode_blob(response["rng"]))
-            rng.bit_generator.state = advanced.bit_generator.state
+            return self._local_generator(task).local_evaluate_indices(indices)
+        values = self._decode_values(response["values"])
+        self._writeback_rng(rng, response)
         if response.get("readthrough"):
             self.last_served_by = "daemon-readthrough"
         elif response.get("deduped"):
@@ -319,26 +474,49 @@ class LandscapeClient:
         The ``compute_indices`` counterpart of :meth:`evaluate_ansatz`:
         index points resolve server-side, per-row ``noise`` sequences
         align with the index list, and the caller's ``rng`` state
-        round-trips — the ``daemon-sparse`` engine in
-        ``tests/equivalence/harness.py`` is this call.  Never falls
+        round-trips — the ``daemon-sparse`` and ``daemon-tcp`` engines
+        in ``tests/equivalence/harness.py`` are this call.  Never falls
         back (a dead daemon must fail the parity matrix loudly).
         """
-        task = {
-            "ansatz": ansatz,
-            "grid": grid,
-            "indices": np.asarray(flat_indices, dtype=np.int64),
-            "noise": noise,
-            "shots": shots,
-            "rng": rng,
-        }
-        response = self._request(
-            {"op": "compute_indices", "task": encode_blob(pickle.dumps(task))}
+        indices = np.asarray(flat_indices, dtype=np.int64)
+        frame = self._sparse_ansatz_frame(ansatz, grid, indices, noise, shots, rng)
+        if frame is None:
+            frame = self._v1_frame(
+                "compute_indices",
+                {
+                    "ansatz": ansatz,
+                    "grid": grid,
+                    "indices": indices,
+                    "noise": noise,
+                    "shots": shots,
+                    "rng": rng,
+                },
+            )
+        response = self._request(frame)
+        values = self._decode_values(response["values"])
+        self._writeback_rng(rng, response)
+        return values
+
+    def _sparse_ansatz_frame(
+        self, ansatz, grid, indices, noise, shots, rng
+    ) -> dict[str, Any] | None:
+        ansatz_spec = ansatz_to_spec(ansatz)
+        grid_spec = grid_to_spec(grid)
+        if ansatz_spec is None or grid_spec is None:
+            return None
+        try:
+            noise_spec = noise_to_spec(noise)
+        except (AttributeError, TypeError, ValueError):
+            return None
+        return self._v2_frame(
+            "compute_indices",
+            ansatz=ansatz_spec,
+            grid=grid_spec,
+            indices=encode_array(indices),
+            noise=noise_spec,
+            shots=shots,
+            rng=None if rng is None else encode_rng_state(rng),
         )
-        values = pickle.loads(decode_blob(response["values"]))
-        if rng is not None and response.get("rng") is not None:
-            advanced = pickle.loads(decode_blob(response["rng"]))
-            rng.bit_generator.state = advanced.bit_generator.state
-        return np.asarray(values)
 
     # -- the one-request pipeline ------------------------------------------
 
@@ -375,10 +553,10 @@ class LandscapeClient:
             "seed": seed,
             "shard_points": shard_points,
         }
+        rng = getattr(function, "rng", None)
+        frame = self._pipeline_frame(task)
         try:
-            response = self._request(
-                {"op": "pipeline", "task": encode_blob(pickle.dumps(task))}
-            )
+            response = self._request(frame)
         except DaemonUnavailable:
             if not self.fallback:
                 raise
@@ -388,27 +566,75 @@ class LandscapeClient:
                 return fallback()
             return run_pipeline(self._local_generator(task), config, sample_rng)
         landscape = Landscape.from_bytes(decode_blob(response["landscape"]))
-        result = pickle.loads(decode_blob(response["result"]))
-        rng = getattr(function, "rng", None)
-        if rng is not None and response.get("rng") is not None:
-            advanced = pickle.loads(decode_blob(response["rng"]))
-            rng.bit_generator.state = advanced.bit_generator.state
-        if (
-            isinstance(sample_rng, np.random.Generator)
-            and response.get("sample_rng") is not None
-        ):
-            advanced = pickle.loads(decode_blob(response["sample_rng"]))
-            sample_rng.bit_generator.state = advanced.bit_generator.state
+        self._writeback_rng(rng, response)
+        if isinstance(sample_rng, np.random.Generator):
+            self._writeback_rng(sample_rng, response, field="sample_rng")
         self.last_served_by = "daemon-pipeline"
+        if "result" in response:  # v1: pickled report/optimization/arrays
+            result = pickle.loads(decode_blob(response["result"]))
+            report = result["report"]
+            optimization = result["optimization"]
+            flat_indices = np.asarray(result["flat_indices"])
+            values = np.asarray(result["values"])
+        else:  # v2: field dicts + typed array codecs
+            from ..landscape.reconstructor import ReconstructionReport
+            from ..optimizers.base import OptimizationResult
+
+            opt = response["optimization"]
+            report = ReconstructionReport(**response["report"])
+            optimization = OptimizationResult(
+                parameters=decode_array(opt["parameters"]),
+                value=float(opt["value"]),
+                num_queries=int(opt["num_queries"]),
+                path=decode_array(opt["path"]),
+                converged=bool(opt["converged"]),
+                label=str(opt["label"]),
+            )
+            flat_indices = decode_array(response["flat_indices"])
+            values = decode_array(response["values"])
         return PipelineOutcome(
             landscape=landscape,
-            report=result["report"],
-            optimization=result["optimization"],
-            flat_indices=np.asarray(result["flat_indices"]),
-            values=np.asarray(result["values"]),
+            report=report,
+            optimization=optimization,
+            flat_indices=flat_indices,
+            values=values,
             timings=dict(response.get("timings") or {}),
             key=response.get("key"),
             served_by="daemon",
+        )
+
+    def _pipeline_frame(self, task: dict[str, Any]) -> dict[str, Any]:
+        from dataclasses import asdict, is_dataclass
+
+        function_spec = function_to_spec(task["function"])
+        grid_spec = grid_to_spec(task["grid"])
+        config = task["config"]
+        sample_rng = task["sample_rng"]
+        if (
+            function_spec is None
+            or grid_spec is None
+            or not is_dataclass(config)
+        ):
+            return self._v1_frame("pipeline", task)
+        payload = asdict(config)
+        if isinstance(payload.get("initial_point"), tuple):
+            payload["initial_point"] = list(payload["initial_point"])
+        if isinstance(sample_rng, np.random.Generator):
+            sample_payload: Any = encode_rng_state(sample_rng)
+        else:
+            sample_payload = sample_rng
+        return self._v2_frame(
+            "pipeline",
+            function=function_spec,
+            grid=grid_spec,
+            config=payload,
+            sample_rng=sample_payload,
+            batch_size=task["batch_size"],
+            seed=task["seed"],
+            shard_points=task["shard_points"],
+            rng=None
+            if getattr(task["function"], "rng", None) is None
+            else encode_rng_state(task["function"].rng),
         )
 
     # -- raw evaluation (the equivalence-harness path) ---------------------
@@ -423,26 +649,49 @@ class LandscapeClient:
     ) -> np.ndarray:
         """Uncached batch evaluation through the daemon.
 
-        The caller's ``rng`` (if any) is pickled over, consumed by the
+        The caller's ``rng`` (if any) ships over — as a JSON state on
+        the v2 path, pickled on the legacy path — is consumed by the
         daemon's executor, and its final state is written back into the
-        caller's generator — so values *and* rng stream position match
+        caller's generator, so values *and* rng stream position match
         an in-process evaluation exactly.  This is the call the
-        ``daemon`` engine in ``tests/equivalence/harness.py`` is built
-        on; it never falls back (a dead daemon must fail the parity
-        matrix, not silently pass it).
+        ``daemon`` and ``daemon-tcp`` engines in
+        ``tests/equivalence/harness.py`` are built on; it never falls
+        back (a dead daemon must fail the parity matrix, not silently
+        pass it).
         """
-        task = {
-            "ansatz": ansatz,
-            "batch": np.asarray(batch, dtype=float),
-            "noise": noise,
-            "shots": shots,
-            "rng": rng,
-        }
-        response = self._request(
-            {"op": "evaluate", "task": encode_blob(pickle.dumps(task))}
+        batch = np.asarray(batch, dtype=float)
+        frame = self._evaluate_frame(ansatz, batch, noise, shots, rng)
+        if frame is None:
+            frame = self._v1_frame(
+                "evaluate",
+                {
+                    "ansatz": ansatz,
+                    "batch": batch,
+                    "noise": noise,
+                    "shots": shots,
+                    "rng": rng,
+                },
+            )
+        response = self._request(frame)
+        values = self._decode_values(response["values"])
+        self._writeback_rng(rng, response)
+        return values
+
+    def _evaluate_frame(
+        self, ansatz, batch, noise, shots, rng
+    ) -> dict[str, Any] | None:
+        ansatz_spec = ansatz_to_spec(ansatz)
+        if ansatz_spec is None:
+            return None
+        try:
+            noise_spec = noise_to_spec(noise)
+        except (AttributeError, TypeError, ValueError):
+            return None
+        return self._v2_frame(
+            "evaluate",
+            ansatz=ansatz_spec,
+            batch=encode_array(batch),
+            noise=noise_spec,
+            shots=shots,
+            rng=None if rng is None else encode_rng_state(rng),
         )
-        values = pickle.loads(decode_blob(response["values"]))
-        if rng is not None and response.get("rng") is not None:
-            advanced = pickle.loads(decode_blob(response["rng"]))
-            rng.bit_generator.state = advanced.bit_generator.state
-        return np.asarray(values)

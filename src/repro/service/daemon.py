@@ -64,15 +64,35 @@ op                  meaning
 ``shutdown``        stop serving (the socket file is removed on close)
 ==================  =========================================================
 
-Tasks are **pickled** by the client.  The
-trust boundary is the socket file's filesystem permissions: anyone who
-can connect can execute code in the daemon process, exactly like any
-local pickle-based worker pool (``multiprocessing`` itself included).
-Keep the socket in a directory only the owning user can write.
+**Two protocol generations, two transports.**  The table above is
+protocol **v1**: unversioned frames whose tasks are **pickled** by the
+client.  Its trust boundary is the socket file's filesystem
+permissions: anyone who can connect can execute code in the daemon
+process, exactly like any local pickle-based worker pool
+(``multiprocessing`` itself included) — keep the socket in a directory
+only the owning user can write.  v1 is accepted **only on the Unix
+socket**, and only for one more release.
+
+Protocol **v2** (:mod:`repro.service.protocol`) is versioned and
+pickle-free: every frame carries ``"version": 2``, tasks are
+declarative JSON specs resolved server-side from the ansatz/function
+registry, and every failure is a structured ``{"code", "type",
+"message", "retryable"}`` error.  v2 works on both transports and is
+the only protocol spoken on the **TCP listener** (``tcp=``), an asyncio
+front with per-connection idle timeouts, a max-payload limit, a
+connection cap that sheds load with a retryable ``overloaded`` error,
+and graceful drain on shutdown.  TCP requires **bearer-token auth**
+(``tokens_file=``): tokens resolve to tenants, each tenant gets its own
+store namespace and byte quota
+(:class:`~repro.service.store.TenantStores`), and identical exact specs
+still dedupe compute across tenants through the content-addressed key.
+Unauthenticated Unix-socket requests keep operating on the default
+namespace, so existing callers and on-disk caches are untouched.
 """
 
 from __future__ import annotations
 
+import asyncio
 import base64
 import hashlib
 import json
@@ -82,20 +102,42 @@ import socketserver
 import threading
 import time
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, BinaryIO, Callable
 
 import numpy as np
 
 from ..landscape.grid import validate_flat_indices
+from .protocol import (
+    DEFAULT_TENANT,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ProtocolError,
+    ansatz_from_spec,
+    authenticate,
+    decode_array,
+    encode_array,
+    encode_rng_state,
+    function_from_spec,
+    grid_from_spec,
+    load_tokens,
+    noise_from_spec,
+    rng_from_state,
+)
 from .shards import ShardedExecutor, _pool_context, plan_shards
-from .store import LandscapeStore
+from .store import LandscapeStore, TenantStores
 
-__all__ = ["LandscapeDaemon", "DEFAULT_SOCKET"]
+__all__ = ["LandscapeDaemon", "DEFAULT_SOCKET", "DEFAULT_MAX_PAYLOAD_BYTES"]
 
 #: Default Unix-socket path (relative to the working directory) shared
 #: by ``oscar-repro serve`` and the ``--daemon`` client flags.
 DEFAULT_SOCKET = "oscar-repro.sock"
+
+#: Default per-frame byte limit on the TCP listener (requests and
+#: responses are single JSON lines; 32 MiB covers paper-sized grids
+#: with room to spare while bounding a hostile frame).
+DEFAULT_MAX_PAYLOAD_BYTES = 32 * 1024 * 1024
 
 
 def encode_blob(data: bytes) -> str:
@@ -106,6 +148,26 @@ def encode_blob(data: bytes) -> str:
 def decode_blob(text: str) -> bytes:
     """Inverse of :func:`encode_blob`."""
     return base64.b64decode(text.encode("ascii"))
+
+
+def _parse_tcp(value: str | int | tuple) -> tuple[str, int]:
+    """Normalize a ``tcp=`` setting to ``(host, port)``.
+
+    Accepts ``(host, port)``, a bare port, ``"host:port"``, ``":port"``
+    (localhost) and the client's ``tcp://host:port`` scheme.
+    """
+    if isinstance(value, int):
+        return ("127.0.0.1", value)
+    if isinstance(value, (tuple, list)):
+        host, port = value
+        return (str(host), int(port))
+    text = str(value)
+    if text.startswith("tcp://"):
+        text = text[len("tcp://") :]
+    host, _, port = text.rpartition(":")
+    if not port:
+        raise ValueError(f"tcp address {value!r} needs a port (host:port)")
+    return (host or "127.0.0.1", int(port))
 
 
 def read_response(stream: BinaryIO) -> dict[str, Any]:
@@ -189,6 +251,28 @@ class LandscapeDaemon:
         shard_points: default shard layout for requests that do not
             bring their own (see
             :func:`~repro.service.shards.plan_shards`).
+        tcp: optionally also listen on TCP — ``"host:port"`` (or
+            ``(host, port)`` / a bare port); port ``0`` binds an
+            ephemeral port, readable from :attr:`tcp_address` after
+            :meth:`start`.  TCP speaks wire protocol v2 only and
+            **requires** ``tokens_file``.
+        tokens_file: path to the bearer-token file (see
+            :func:`~repro.service.protocol.load_tokens`).  Tokens
+            resolve to tenants; each tenant gets its own store
+            namespace under ``<cache root>/tenants/<tenant>/``.
+        tenant_quota_bytes: default per-tenant store byte budget for
+            tenants whose credential does not carry ``quota_bytes``
+            (``None`` = unbounded).
+        max_payload_bytes: per-frame byte limit on the TCP listener.
+        max_connections: concurrent TCP connection cap; connections
+            beyond it are shed with a retryable ``overloaded`` error.
+        max_concurrent_requests: TCP requests executing at once;
+            excess requests queue (bounded worker pool), they are not
+            shed.
+        idle_timeout: seconds a TCP connection may sit idle between
+            requests before the daemon disconnects it.
+        drain_timeout: seconds :meth:`close` waits for in-flight TCP
+            requests to finish before cancelling their connections.
 
     Typical embedding (tests, examples) runs the daemon on a background
     thread::
@@ -210,6 +294,14 @@ class LandscapeDaemon:
         store: LandscapeStore | None = None,
         max_bytes: int | None = None,
         shard_points: int | None = None,
+        tcp: str | int | tuple | None = None,
+        tokens_file: str | Path | None = None,
+        tenant_quota_bytes: int | None = None,
+        max_payload_bytes: int = DEFAULT_MAX_PAYLOAD_BYTES,
+        max_connections: int = 64,
+        max_concurrent_requests: int = 8,
+        idle_timeout: float = 60.0,
+        drain_timeout: float = 5.0,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -219,6 +311,32 @@ class LandscapeDaemon:
         if store is None and cache_dir is not None:
             store = LandscapeStore(cache_dir, max_bytes=max_bytes)
         self.store = store
+        self.credentials = () if tokens_file is None else load_tokens(tokens_file)
+        self.tenants = TenantStores(
+            default_store=store,
+            quotas={
+                credential.tenant: credential.quota_bytes
+                for credential in self.credentials
+                if credential.quota_bytes is not None
+            },
+            default_quota=tenant_quota_bytes,
+            default_tenant=DEFAULT_TENANT,
+        )
+        self._tcp_config = None if tcp is None else _parse_tcp(tcp)
+        if self._tcp_config is not None and not self.credentials:
+            raise ValueError(
+                "TCP serving requires tokens_file=: the network front "
+                "authenticates every request with a bearer token"
+            )
+        if max_payload_bytes < 1024:
+            raise ValueError(
+                f"max_payload_bytes must be >= 1024, got {max_payload_bytes}"
+            )
+        self.max_payload_bytes = int(max_payload_bytes)
+        self.max_connections = int(max_connections)
+        self.max_concurrent_requests = max(1, int(max_concurrent_requests))
+        self.idle_timeout = float(idle_timeout)
+        self.drain_timeout = float(drain_timeout)
         self._store_lock = threading.Lock()
         self._inflight: dict[str, _Flight] = {}
         self._inflight_lock = threading.Lock()
@@ -236,10 +354,21 @@ class LandscapeDaemon:
             "pipeline_runs": 0,
             "errors": 0,
         }
+        self._tenant_counters: dict[str, dict[str, int]] = {}
         self._pool = None
         self._server: _Server | None = None
         self._thread: threading.Thread | None = None
         self._started = time.time()
+        # TCP listener state (all None/empty until _bind with tcp=).
+        self._tcp_thread: threading.Thread | None = None
+        self._tcp_loop: asyncio.AbstractEventLoop | None = None
+        self._tcp_stop: asyncio.Event | None = None
+        self._tcp_ready = threading.Event()
+        self._tcp_error: BaseException | None = None
+        self._tcp_address: tuple[str, int] | None = None
+        self._tcp_connections = 0
+        self._tcp_connection_lock = threading.Lock()
+        self._request_executor: ThreadPoolExecutor | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -259,7 +388,59 @@ class LandscapeDaemon:
         # Owner-only: anyone who can connect can execute pickled tasks,
         # so do not rely on the umask to keep other users out.
         os.chmod(self.socket_path, 0o600)
+        if self._tcp_config is not None:
+            self._start_tcp()
         self._started = time.time()
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        """The TCP listener's bound ``(host, port)`` (``None`` without
+        ``tcp=`` or before :meth:`start`).  With port ``0`` this is how
+        callers discover the ephemeral port."""
+        return self._tcp_address
+
+    def _start_tcp(self) -> None:
+        """Run the asyncio TCP front on its own thread (idempotent)."""
+        if self._tcp_thread is not None:
+            return
+        self._request_executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrent_requests,
+            thread_name_prefix="landscape-daemon-req",
+        )
+        self._tcp_ready.clear()
+        self._tcp_error = None
+        self._tcp_thread = threading.Thread(
+            target=lambda: asyncio.run(self._tcp_serve()),
+            name="landscape-daemon-tcp",
+            daemon=True,
+        )
+        self._tcp_thread.start()
+        if not self._tcp_ready.wait(timeout=10.0):
+            raise RuntimeError("TCP listener failed to start within 10s")
+        if self._tcp_error is not None:
+            error, self._tcp_error = self._tcp_error, None
+            self._tcp_thread.join(timeout=1.0)
+            self._tcp_thread = None
+            raise error
+
+    def _stop_tcp(self) -> None:
+        """Signal the TCP loop to drain and stop, then join its thread."""
+        thread, self._tcp_thread = self._tcp_thread, None
+        if thread is None:
+            return
+        loop, stop = self._tcp_loop, self._tcp_stop
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:  # loop already closed
+                pass
+        thread.join(timeout=self.drain_timeout + 10.0)
+        self._tcp_loop = None
+        self._tcp_stop = None
+        self._tcp_address = None
+        if self._request_executor is not None:
+            self._request_executor.shutdown(wait=False)
+            self._request_executor = None
 
     def start(self) -> None:
         """Bind the socket and serve on a background thread."""
@@ -282,7 +463,9 @@ class LandscapeDaemon:
             self.close()
 
     def close(self) -> None:
-        """Stop serving, join the server thread, release pool + socket."""
+        """Stop serving (TCP drains gracefully first), join the server
+        threads, release pool + socket."""
+        self._stop_tcp()
         server, self._server = self._server, None
         if server is not None:
             server.shutdown()
@@ -311,35 +494,132 @@ class LandscapeDaemon:
         with self._counter_lock:
             self._counters[counter] += amount
 
-    def handle_line(self, line: bytes) -> dict[str, Any]:
+    def _bump_tenant(self, tenant: str, op: str) -> None:
+        """Per-tenant per-op accounting (surfaces in ``stats``)."""
+        with self._counter_lock:
+            ops = self._tenant_counters.setdefault(tenant, {})
+            ops[op] = ops.get(op, 0) + 1
+
+    @staticmethod
+    def _error_payload(error: BaseException) -> dict[str, Any]:
+        """Structured error object: v1's ``{type, message}`` plus the v2
+        ``code``/``retryable`` fields (harmless extras to v1 clients)."""
+        payload: dict[str, Any] = {
+            "type": type(error).__name__,
+            "message": str(error) or traceback.format_exc(limit=1),
+        }
+        if isinstance(error, ProtocolError):
+            payload["code"] = error.code
+            payload["retryable"] = error.retryable
+        else:
+            payload["code"] = (
+                "malformed"
+                if isinstance(error, (json.JSONDecodeError, UnicodeDecodeError))
+                else "internal"
+            )
+            payload["retryable"] = False
+        return payload
+
+    def handle_line(self, line: bytes, transport: str = "unix") -> dict[str, Any]:
         """One raw request line -> one response object.
 
-        Every failure — unparseable JSON, an unknown op, a bad task, an
+        Version dispatch happens here: frames carrying a ``"version"``
+        field take the v2 (pickle-free) path on either transport;
+        unversioned frames are legacy v1 and are **only** accepted from
+        the Unix socket — over TCP they get a structured
+        ``unsupported-version`` error without touching any handler.
+
+        Every failure — unparseable JSON, an unknown op, a bad spec, an
         exception inside the computation — becomes a structured
         ``{"ok": false, "error": ...}`` response; the server never dies
         on a request.
         """
         self._bump("requests")
+        request: Any = None
         try:
-            request = json.loads(line)
+            try:
+                request = json.loads(line)
+            except UnicodeDecodeError as error:
+                raise ProtocolError(
+                    "malformed", f"request is not UTF-8 JSON: {error}"
+                ) from error
             if not isinstance(request, dict):
-                raise TypeError("request must be a JSON object")
-            op = request.get("op")
-            handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
-            if handler is None or (isinstance(op, str) and op.startswith("_")):
-                raise ValueError(f"unknown op {op!r}")
-            response = handler(request)
-            response["ok"] = True
-            return response
+                raise ProtocolError("malformed", "request must be a JSON object")
+            if "version" in request or transport != "unix":
+                return self._handle_v2(request, transport)
+            return self._handle_v1(request)
         except BaseException as error:  # noqa: BLE001 - protocol boundary
             self._bump("errors")
-            return {
+            response: dict[str, Any] = {
                 "ok": False,
-                "error": {
-                    "type": type(error).__name__,
-                    "message": str(error) or traceback.format_exc(limit=1),
-                },
+                "error": self._error_payload(error),
             }
+            if transport != "unix" or (
+                isinstance(request, dict) and "version" in request
+            ):
+                response["version"] = PROTOCOL_VERSION
+            return response
+
+    def _handle_v1(self, request: dict[str, Any]) -> dict[str, Any]:
+        """The legacy unversioned dispatch (pickled tasks, Unix only)."""
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        if handler is None or (isinstance(op, str) and op.startswith("_")):
+            raise ValueError(f"unknown op {op!r}")
+        response = handler(request)
+        response["ok"] = True
+        return response
+
+    def _handle_v2(self, request: dict[str, Any], transport: str) -> dict[str, Any]:
+        """The versioned, pickle-free dispatch (both transports)."""
+        version = request.get("version")
+        if version is None:
+            raise ProtocolError(
+                "unsupported-version",
+                "every TCP message needs a 'version' field; the legacy "
+                "unversioned pickle protocol is accepted on the Unix "
+                "socket only",
+            )
+        if not isinstance(version, int) or version not in SUPPORTED_VERSIONS:
+            raise ProtocolError(
+                "unsupported-version",
+                f"unsupported protocol version {version!r}; this daemon "
+                f"speaks {list(SUPPORTED_VERSIONS)}",
+            )
+        op = request.get("op")
+        handler = V2_OPS.get(op) if isinstance(op, str) else None
+        if handler is None:
+            raise ProtocolError(
+                "unknown-op",
+                f"unknown v2 op {op!r}; supported: {sorted(V2_OPS)}",
+            )
+        tenant = self._authenticate(request, transport)
+        self._bump_tenant(tenant, op)
+        response = handler(self, request, tenant)
+        response["ok"] = True
+        response["version"] = PROTOCOL_VERSION
+        return response
+
+    def _authenticate(self, request: dict[str, Any], transport: str) -> str:
+        """Resolve the request's tenant (before any pool/store work).
+
+        TCP requires a valid bearer token.  Unix-socket requests keep
+        the filesystem trust boundary: no token means the default
+        tenant, but a *presented* token must still be valid — callers
+        never silently fall back to another tenant's namespace.
+        """
+        token = request.get("token")
+        if token is not None and not isinstance(token, str):
+            raise ProtocolError("auth", "token must be a string")
+        if token is None:
+            if transport == "unix":
+                return DEFAULT_TENANT
+            raise ProtocolError("auth", "missing bearer token")
+        if not self.credentials:
+            raise ProtocolError(
+                "auth", "this daemon has no tokens configured"
+            )
+        return authenticate(self.credentials, token).tenant
 
     @staticmethod
     def _load_task(request: dict[str, Any]) -> dict[str, Any]:
@@ -362,19 +642,31 @@ class LandscapeDaemon:
         }
 
     def _op_stats(self, request: dict[str, Any]) -> dict[str, Any]:
-        """Counters + store summary."""
+        """Counters + store summary + per-tenant accounting."""
         with self._counter_lock:
             counters = dict(self._counters)
+            tenant_ops = {
+                tenant: dict(ops) for tenant, ops in self._tenant_counters.items()
+            }
         store_stats = None
-        if self.store is not None:
-            with self._store_lock:
+        with self._store_lock:
+            if self.store is not None:
                 store_stats = self.store.stats()
+            tenant_stores = self.tenants.stats()
+        tenants = {
+            tenant: {
+                "ops": tenant_ops.get(tenant, {}),
+                "store": tenant_stores.get(tenant),
+            }
+            for tenant in sorted(set(tenant_ops) | set(tenant_stores))
+        }
         return {
             "pid": os.getpid(),
             "workers": self.workers,
             "uptime": time.time() - self._started,
             "counters": counters,
             "store": store_stats,
+            "tenants": tenants,
         }
 
     def _op_index(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -548,7 +840,9 @@ class LandscapeDaemon:
             }
 
         generator = self._generator_for(task)
-        values, readthrough, deduped = self._sparse_values(generator, flat_indices)
+        values, readthrough, deduped = self._sparse_values(
+            generator, flat_indices, self.store
+        )
         rng = getattr(generator.function, "rng", None)
         return {
             "values": encode_blob(pickle.dumps(np.asarray(values))),
@@ -582,7 +876,9 @@ class LandscapeDaemon:
             generator,
             config,
             sample_rng,
-            evaluate=lambda indices: self._sparse_values(generator, indices)[0],
+            evaluate=lambda indices: self._sparse_values(
+                generator, indices, self.store
+            )[0],
         )
         self._bump("pipeline_runs")
 
@@ -684,7 +980,7 @@ class LandscapeDaemon:
         return "sparse:" + digest.hexdigest()[:32], dense_spec
 
     def _sparse_values(
-        self, generator, flat_indices: np.ndarray
+        self, generator, flat_indices: np.ndarray, store: LandscapeStore | None
     ) -> tuple[np.ndarray, bool, bool]:
         """Values at ``flat_indices``: read-through, dedup, or compute.
 
@@ -703,11 +999,11 @@ class LandscapeDaemon:
         def produce() -> tuple[np.ndarray, bool]:
             if (
                 dense_spec is not None
-                and self.store is not None
+                and store is not None
                 and getattr(generator.function, "shots", None) is None
             ):
                 with self._store_lock:
-                    cached = self.store.get(dense_spec)
+                    cached = store.get(dense_spec)
                 if cached is not None:
                     self._bump("sparse_hits")
                     return np.asarray(cached.flat()[flat_indices], dtype=float), True
@@ -754,4 +1050,541 @@ class LandscapeDaemon:
             seed=task.get("seed"),
             executor_pool=self._pool,
         )
+
+    # -- v2 ops (pickle-free; the only handlers reachable over TCP) --------
+
+    @staticmethod
+    def _int_field(request: dict[str, Any], name: str) -> int | None:
+        """An optional integer field, strictly typed (bools rejected)."""
+        value = request.get(name)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                "malformed", f"{name!r} must be an integer or null"
+            )
+        return value
+
+    def _v2_rng(self, request: dict[str, Any]) -> np.random.Generator | None:
+        """The request's rng state resolved into a live generator."""
+        payload = request.get("rng")
+        return None if payload is None else rng_from_state(payload)
+
+    def _v2_generator(
+        self, request: dict[str, Any], rng: np.random.Generator | None = None
+    ):
+        """A generator resolved from declarative v2 specs — the spec
+        registry (:mod:`repro.service.protocol`) is the only way a TCP
+        request turns into code, so nothing on this path unpickles."""
+        from ..landscape.generator import LandscapeGenerator
+
+        function = function_from_spec(request.get("function"), rng=rng)
+        grid = grid_from_spec(request.get("grid"))
+        return LandscapeGenerator(
+            function,
+            grid,
+            batch_size=self._int_field(request, "batch_size"),
+            workers=self.workers,
+            shard_points=self._resolve_shard_points(request),
+            seed=self._int_field(request, "seed"),
+            executor_pool=self._pool,
+        )
+
+    def _v2_spec_for(self, generator):
+        """The generator's canonical spec; spec problems are the
+        client's fault, not an internal error."""
+        try:
+            return generator.cache_spec()
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("invalid-spec", str(error))
+
+    def _v2_ping(self, request: dict[str, Any], tenant: str) -> dict[str, Any]:
+        """Liveness probe (authenticated identity echoed back)."""
+        return {
+            "pid": os.getpid(),
+            "workers": self.workers,
+            "uptime": time.time() - self._started,
+            "tenant": tenant,
+            "protocol": PROTOCOL_VERSION,
+        }
+
+    def _v2_stats(self, request: dict[str, Any], tenant: str) -> dict[str, Any]:
+        """Same counters as v1 ``stats`` (tenant section included)."""
+        return self._op_stats(request)
+
+    def _v2_index(self, request: dict[str, Any], tenant: str) -> dict[str, Any]:
+        """Index listing over the caller's namespace only."""
+        store = self.tenants.store_for(tenant)
+        if store is None:
+            return {"entries": []}
+        with self._store_lock:
+            entries = store.entries()
+        return {
+            "entries": [
+                {
+                    "key": entry.key,
+                    "label": entry.label,
+                    "payload_bytes": entry.payload_bytes,
+                    "access": entry.access,
+                    "created": entry.created,
+                }
+                for entry in entries
+            ]
+        }
+
+    def _v2_get(self, request: dict[str, Any], tenant: str) -> dict[str, Any]:
+        """Raw-key lookup — namespaced, never crosses tenants."""
+        key = request.get("key")
+        if not isinstance(key, str):
+            raise ProtocolError("malformed", "get needs a string 'key'")
+        store = self.tenants.store_for(tenant)
+        landscape = None
+        if store is not None:
+            with self._store_lock:
+                landscape = store.get(key)
+        return {
+            "landscape": None
+            if landscape is None
+            else encode_blob(landscape.to_bytes())
+        }
+
+    def _v2_invalidate(
+        self, request: dict[str, Any], tenant: str
+    ) -> dict[str, Any]:
+        """Raw-key invalidation — namespaced, never crosses tenants."""
+        key = request.get("key")
+        if not isinstance(key, str):
+            raise ProtocolError("malformed", "invalidate needs a string 'key'")
+        store = self.tenants.store_for(tenant)
+        removed = False
+        if store is not None:
+            with self._store_lock:
+                removed = store.invalidate(key)
+        return {"removed": removed}
+
+    def _v2_shutdown(
+        self, request: dict[str, Any], tenant: str
+    ) -> dict[str, Any]:
+        """Acknowledge, then stop both fronts from a side thread."""
+        threading.Thread(target=self.close, daemon=True).start()
+        return {"stopping": True}
+
+    def _v2_evaluate(
+        self, request: dict[str, Any], tenant: str
+    ) -> dict[str, Any]:
+        """Raw batch evaluation from declarative specs (uncached).
+
+        Mirrors v1 ``evaluate`` — ansatz/noise resolve through the spec
+        registry, the batch travels as a typed array codec, and the
+        caller's rng state round-trips so client-side generators land
+        on the exact stream position a local run would."""
+        ansatz = ansatz_from_spec(request.get("ansatz"))
+        batch = decode_array(request.get("batch"))
+        if batch.ndim != 2:
+            raise ProtocolError(
+                "malformed", f"batch must be 2-D, got shape {batch.shape}"
+            )
+        rng = self._v2_rng(request)
+        executor = ShardedExecutor(
+            workers=self.workers,
+            shard_points=self._resolve_shard_points(request),
+            seed=self._int_field(request, "seed"),
+            pool=self._pool,
+        )
+        values = executor.run_ansatz(
+            ansatz,
+            batch,
+            noise=noise_from_spec(request.get("noise")),
+            shots=self._int_field(request, "shots"),
+            rng=rng,
+        )
+        self._bump("evaluations")
+        return {
+            "values": encode_array(np.asarray(values, dtype=float)),
+            "rng": None if rng is None else encode_rng_state(rng),
+        }
+
+    def _v2_compute(
+        self, request: dict[str, Any], tenant: str
+    ) -> dict[str, Any]:
+        """The v2 service path: tenant store hit, cross-tenant
+        read-through for exact specs, else single-flighted compute.
+
+        The single-flight key is the content-addressed spec key —
+        tenant-independent on purpose, so two tenants racing the same
+        spec compute it once; each still lands a copy in its own
+        namespace (quota-accounted)."""
+        generator = self._v2_generator(request)
+        spec = self._v2_spec_for(generator)
+        label = str(request.get("label", "landscape"))
+        store = self.tenants.store_for(tenant)
+
+        def produce() -> tuple[Any, bool]:
+            if store is not None:
+                with self._store_lock:
+                    cached = store.get(spec)
+                if cached is not None:
+                    self._bump("hits")
+                    return cached, True
+            with self._store_lock:
+                shared, _owner = self.tenants.read_through(spec, tenant)
+                if shared is not None and store is not None:
+                    store.put(spec, shared)
+            if shared is not None:
+                self._bump("hits")
+                return shared, True
+            self._bump("misses")
+            self._bump("computed")
+            landscape = generator.local_grid_search(label)
+            if store is not None:
+                with self._store_lock:
+                    store.put(spec, landscape)
+            return landscape, False
+
+        (landscape, hit), deduped = self._single_flight(spec.key(), produce)
+        if deduped and store is not None:
+            # A follower joined another tenant's flight: the result
+            # belongs in this tenant's namespace too.
+            with self._store_lock:
+                if store.get(spec) is None:
+                    store.put(spec, landscape)
+        return {
+            "landscape": encode_blob(landscape.to_bytes()),
+            "key": spec.key(),
+            "hit": hit,
+            "deduped": deduped,
+        }
+
+    def _v2_compute_indices(
+        self, request: dict[str, Any], tenant: str
+    ) -> dict[str, Any]:
+        """Sparse evaluation from declarative specs.
+
+        The same two shapes as v1 ``compute_indices`` (function-shaped
+        service path with read-through/dedup against the caller's
+        namespace; ansatz-shaped raw path), with indices as a typed
+        int64 array or a plain JSON list."""
+        grid = grid_from_spec(request.get("grid"))
+        indices = request.get("indices")
+        if isinstance(indices, dict):
+            indices = decode_array(indices)
+        try:
+            flat_indices = validate_flat_indices(int(grid.size), indices)
+        except (TypeError, ValueError) as error:
+            raise ProtocolError("invalid-spec", str(error))
+
+        rng = self._v2_rng(request)
+        if "ansatz" in request:
+            ansatz = ansatz_from_spec(request.get("ansatz"))
+            executor = ShardedExecutor(
+                workers=self.workers,
+                shard_points=self._resolve_shard_points(request),
+                seed=self._int_field(request, "seed"),
+                pool=self._pool,
+            )
+            values = executor.run_ansatz(
+                ansatz,
+                grid.points_from_flat(flat_indices),
+                noise=noise_from_spec(request.get("noise")),
+                shots=self._int_field(request, "shots"),
+                rng=rng,
+            )
+            self._bump("evaluations")
+            return {
+                "values": encode_array(np.asarray(values, dtype=float)),
+                "rng": None if rng is None else encode_rng_state(rng),
+                "readthrough": False,
+                "deduped": False,
+            }
+
+        function = function_from_spec(request.get("function"), rng=rng)
+        from ..landscape.generator import LandscapeGenerator
+
+        generator = LandscapeGenerator(
+            function,
+            grid,
+            batch_size=self._int_field(request, "batch_size"),
+            workers=self.workers,
+            shard_points=self._resolve_shard_points(request),
+            seed=self._int_field(request, "seed"),
+            executor_pool=self._pool,
+        )
+        store = self.tenants.store_for(tenant)
+        values, readthrough, deduped = self._sparse_values(
+            generator, flat_indices, store
+        )
+        rng = getattr(generator.function, "rng", None)
+        return {
+            "values": encode_array(np.asarray(values, dtype=float)),
+            "rng": None if rng is None else encode_rng_state(rng),
+            "readthrough": readthrough,
+            "deduped": deduped,
+        }
+
+    def _v2_pipeline(
+        self, request: dict[str, Any], tenant: str
+    ) -> dict[str, Any]:
+        """The whole paper loop from a declarative request.
+
+        Mirrors v1 ``pipeline`` (sparse service path for evaluation,
+        reproducible runs cached under the pipeline spec in the
+        caller's namespace) with a JSON-only result shape: report and
+        optimization come back as field dicts, arrays as typed codecs."""
+        from dataclasses import asdict
+
+        from ..cs.reconstruct import ReconstructionConfig
+        from .pipeline import PipelineConfig, pipeline_spec, run_pipeline
+
+        payload = request.get("config")
+        if not isinstance(payload, dict):
+            raise ProtocolError(
+                "invalid-spec", "pipeline needs a 'config' object"
+            )
+        reconstruction = payload.get("reconstruction")
+        initial_point = payload.get("initial_point")
+        try:
+            config = PipelineConfig(
+                fraction=float(payload["fraction"]),
+                sampler=str(payload.get("sampler", "uniform")),
+                reconstruction=None
+                if reconstruction is None
+                else ReconstructionConfig(**reconstruction),
+                optimizer=str(payload.get("optimizer", "cobyla")),
+                optimizer_options=payload.get("optimizer_options"),
+                initial_point=None
+                if initial_point is None
+                else tuple(float(x) for x in initial_point),
+                label=str(payload.get("label", "oscar-pipeline")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(
+                "invalid-spec", f"invalid pipeline config: {error}"
+            )
+
+        rng = self._v2_rng(request)
+        generator = self._v2_generator(request, rng=rng)
+        sample_payload = request.get("sample_rng")
+        if sample_payload is None:
+            sample_rng: Any = None
+        elif isinstance(sample_payload, int) and not isinstance(
+            sample_payload, bool
+        ):
+            sample_rng = sample_payload
+        elif isinstance(sample_payload, dict):
+            sample_rng = rng_from_state(sample_payload)
+        else:
+            raise ProtocolError(
+                "malformed",
+                "'sample_rng' must be an integer seed, an rng state "
+                "object, or null",
+            )
+        store = self.tenants.store_for(tenant)
+        outcome = run_pipeline(
+            generator,
+            config,
+            sample_rng,
+            evaluate=lambda indices: self._sparse_values(
+                generator, indices, store
+            )[0],
+        )
+        self._bump("pipeline_runs")
+
+        key = None
+        if store is not None and isinstance(sample_rng, int):
+            try:
+                spec = pipeline_spec(generator, config, sample_rng)
+            except (TypeError, ValueError, AttributeError):
+                spec = None
+            if spec is not None:
+                with self._store_lock:
+                    store.put(spec, outcome.landscape)
+                key = spec.key()
+
+        rng = getattr(generator.function, "rng", None)
+        optimization = outcome.optimization
+        return {
+            "landscape": encode_blob(outcome.landscape.to_bytes()),
+            "report": asdict(outcome.report),
+            "optimization": {
+                "parameters": encode_array(
+                    np.asarray(optimization.parameters, dtype=float)
+                ),
+                "value": float(optimization.value),
+                "num_queries": int(optimization.num_queries),
+                "path": encode_array(np.asarray(optimization.path, dtype=float)),
+                "converged": bool(optimization.converged),
+                "label": str(optimization.label),
+            },
+            "flat_indices": encode_array(
+                np.ascontiguousarray(outcome.flat_indices, dtype=np.int64)
+            ),
+            "values": encode_array(np.asarray(outcome.values, dtype=float)),
+            "timings": {name: float(t) for name, t in outcome.timings.items()},
+            "key": key,
+            "rng": None if rng is None else encode_rng_state(rng),
+            "sample_rng": (
+                encode_rng_state(sample_rng)
+                if isinstance(sample_rng, np.random.Generator)
+                else None
+            ),
+        }
+
+    # -- the TCP front -----------------------------------------------------
+
+    async def _tcp_serve(self) -> None:
+        """The asyncio TCP front, run via ``asyncio.run`` on a
+        dedicated thread.
+
+        Binds, publishes the bound address, then parks on the stop
+        event.  Shutdown is a graceful drain: stop accepting, give
+        in-flight connections ``drain_timeout`` seconds to finish their
+        current response, then cancel stragglers."""
+        self._tcp_loop = asyncio.get_running_loop()
+        self._tcp_stop = asyncio.Event()
+        self._tcp_tasks: set[asyncio.Task] = set()
+        host, port = self._tcp_config
+        try:
+            server = await asyncio.start_server(
+                self._tcp_connection,
+                host=host,
+                port=port,
+                limit=self.max_payload_bytes,
+            )
+        except OSError as error:
+            self._tcp_error = error
+            self._tcp_ready.set()
+            return
+        self._tcp_address = server.sockets[0].getsockname()[:2]
+        self._tcp_ready.set()
+        try:
+            await self._tcp_stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            deadline = self._tcp_loop.time() + self.drain_timeout
+            while self._tcp_tasks and self._tcp_loop.time() < deadline:
+                await asyncio.sleep(0.02)
+            for task in list(self._tcp_tasks):
+                task.cancel()
+            if self._tcp_tasks:
+                await asyncio.gather(*self._tcp_tasks, return_exceptions=True)
+
+    @staticmethod
+    async def _tcp_send(
+        writer: asyncio.StreamWriter, message: dict[str, Any]
+    ) -> None:
+        writer.write(json.dumps(message).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    def _tcp_error_frame(
+        self, code: str, message: str, retryable: bool = False
+    ) -> dict[str, Any]:
+        self._bump("errors")
+        return {
+            "ok": False,
+            "version": PROTOCOL_VERSION,
+            "error": {
+                "type": "ProtocolError",
+                "message": message,
+                "code": code,
+                "retryable": retryable,
+            },
+        }
+
+    async def _tcp_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Per-connection wrapper: cap accounting + cleanup."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._tcp_tasks.add(task)
+        with self._tcp_connection_lock:
+            shed = self._tcp_connections >= self.max_connections
+            if not shed:
+                self._tcp_connections += 1
+        try:
+            if shed:
+                await self._tcp_send(
+                    writer,
+                    self._tcp_error_frame(
+                        "overloaded",
+                        f"connection cap ({self.max_connections}) reached; "
+                        "retry shortly",
+                        retryable=True,
+                    ),
+                )
+            else:
+                await self._tcp_session(reader, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # drain deadline hit; just close
+        finally:
+            if not shed:
+                with self._tcp_connection_lock:
+                    self._tcp_connections -= 1
+            if task is not None:
+                self._tcp_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _tcp_session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Read frames until idle/EOF/over-limit; answer each one.
+
+        Request handling is blocking (it may fork work into the
+        process pool), so it runs on the bounded request executor —
+        beyond ``max_concurrent_requests`` in-flight requests, new
+        frames queue rather than spawn unbounded threads."""
+        loop = asyncio.get_running_loop()
+        while not self._tcp_stop.is_set():
+            try:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=self.idle_timeout
+                )
+            except asyncio.TimeoutError:
+                return  # idle disconnect
+            except ValueError:
+                # StreamReader's limit tripped: the frame exceeds
+                # max_payload_bytes and cannot be resynchronized —
+                # answer, then drop the connection.
+                await self._tcp_send(
+                    writer,
+                    self._tcp_error_frame(
+                        "too-large",
+                        "frame exceeds max_payload_bytes "
+                        f"({self.max_payload_bytes}); connection closing",
+                    ),
+                )
+                return
+            if not line:
+                return  # EOF
+            if not line.strip():
+                continue
+            response = await loop.run_in_executor(
+                self._request_executor, self.handle_line, line, "tcp"
+            )
+            await self._tcp_send(writer, response)
+
+
+#: v2 dispatch table: the **only** way a versioned (and therefore any
+#: TCP) request reaches code.  Every handler resolves declarative specs
+#: through :mod:`repro.service.protocol`'s registries — none of them
+#: touches ``pickle`` (a conformance test greps exactly this table).
+V2_OPS: dict[str, Callable[..., dict[str, Any]]] = {
+    "ping": LandscapeDaemon._v2_ping,
+    "stats": LandscapeDaemon._v2_stats,
+    "index": LandscapeDaemon._v2_index,
+    "get": LandscapeDaemon._v2_get,
+    "invalidate": LandscapeDaemon._v2_invalidate,
+    "shutdown": LandscapeDaemon._v2_shutdown,
+    "evaluate": LandscapeDaemon._v2_evaluate,
+    "compute": LandscapeDaemon._v2_compute,
+    "compute_indices": LandscapeDaemon._v2_compute_indices,
+    "pipeline": LandscapeDaemon._v2_pipeline,
+}
 

@@ -38,7 +38,7 @@ from typing import Any, Callable, Mapping, Sequence
 from ..landscape.grid import ParameterGrid
 from ..landscape.landscape import Landscape
 
-__all__ = ["LandscapeSpec", "LandscapeStore", "StoreEntry"]
+__all__ = ["LandscapeSpec", "LandscapeStore", "StoreEntry", "TenantStores"]
 
 #: Hex characters of the sha256 digest used as the cache key (128 bits:
 #: collision-safe for any realistic store size, short enough for ls).
@@ -452,3 +452,112 @@ class LandscapeStore:
                 continue
             self.invalidate(entry.key)
             total -= entry.payload_bytes
+
+
+class TenantStores:
+    """Per-tenant store namespaces over one cache root.
+
+    The daemon's multi-tenant front (wire protocol v2 + token auth)
+    routes every tenant to its **own** :class:`LandscapeStore` rooted at
+    ``<root>/tenants/<tenant>/``, while the legacy/default tenant
+    (:data:`~repro.service.protocol.DEFAULT_TENANT`, i.e. unauthenticated
+    Unix-socket traffic) keeps using the daemon's original store at the
+    cache root itself — existing on-disk caches keep working unchanged.
+
+    Isolation and sharing rules:
+
+    - **raw keys never cross namespaces**: ``get`` / ``invalidate`` /
+      ``entries`` operate on the named tenant's store only, so tenant A
+      cannot read or drop tenant B's entries by key;
+    - **byte quotas are per tenant**: each namespace store carries its
+      own ``max_bytes`` (the credential's ``quota_bytes``, else the
+      daemon-wide default quota), so one tenant filling its budget
+      evicts only its own entries;
+    - **exact specs read through across namespaces**
+      (:meth:`read_through`): the content-addressed key means an
+      identical exact spec identifies byte-identical content, so a
+      landscape any tenant already computed can be copied into the
+      requester's namespace instead of recomputed.  This never leaks:
+      the requester supplied the full spec, i.e. already knows exactly
+      what the values describe — only raw-key access is namespaced.
+      Shot-noise specs are excluded to keep the sharing rule aligned
+      with the daemon's sparse read-through policy (exact content only).
+    """
+
+    def __init__(
+        self,
+        default_store: LandscapeStore | None = None,
+        root: str | Path | None = None,
+        quotas: Mapping[str, int | None] | None = None,
+        default_quota: int | None = None,
+        default_tenant: str = "local",
+    ):
+        if root is None and default_store is not None:
+            root = default_store.root / "tenants"
+        self.root = None if root is None else Path(root)
+        self.default_store = default_store
+        self.default_tenant = default_tenant
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self._stores: dict[str, LandscapeStore] = {}
+
+    def store_for(self, tenant: str) -> LandscapeStore | None:
+        """The tenant's namespace store (created lazily), or ``None``
+        when the daemon runs without a cache."""
+        if tenant == self.default_tenant:
+            return self.default_store
+        if self.root is None:
+            return None
+        if tenant not in self._stores:
+            self._stores[tenant] = LandscapeStore(
+                self.root / tenant,
+                max_bytes=self.quotas.get(tenant, self.default_quota),
+            )
+        return self._stores[tenant]
+
+    def tenants(self) -> list[str]:
+        """Every namespace that currently exists (instantiated this
+        process or persisted on disk), default tenant first."""
+        names = []
+        if self.default_store is not None:
+            names.append(self.default_tenant)
+        on_disk = set(self._stores)
+        if self.root is not None and self.root.exists():
+            on_disk.update(
+                path.name for path in self.root.iterdir() if path.is_dir()
+            )
+        names.extend(sorted(on_disk - {self.default_tenant}))
+        return names
+
+    def read_through(
+        self, spec: LandscapeSpec, tenant: str
+    ) -> tuple[Landscape | None, str | None]:
+        """An identical **exact** spec cached by any other tenant.
+
+        Returns ``(landscape, owner_tenant)`` on a cross-namespace hit,
+        ``(None, None)`` otherwise.  Shot-noise specs never read
+        through (see the class docstring); the caller is responsible
+        for copying the hit into the requesting tenant's own namespace
+        (so its quota accounts for it) and for holding the store lock.
+        """
+        if spec.shots is not None:
+            return None, None
+        for other in self.tenants():
+            if other == tenant:
+                continue
+            store = self.store_for(other)
+            if store is None:
+                continue
+            landscape = store.get(spec)
+            if landscape is not None:
+                return landscape, other
+        return None, None
+
+    def stats(self) -> dict[str, Any]:
+        """Per-tenant store summaries (quota included) keyed by tenant."""
+        out = {}
+        for tenant in self.tenants():
+            store = self.store_for(tenant)
+            if store is not None:
+                out[tenant] = store.stats()
+        return out

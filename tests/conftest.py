@@ -16,6 +16,14 @@ from repro.problems import random_3_regular_maxcut, sk_problem
 from repro.quantum import NoiseModel
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "protocol: wire-protocol conformance + fuzz suite (run with "
+        "`pytest -m protocol`)",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A fixed-seed generator; tests share determinism through it."""

@@ -151,6 +151,7 @@ def _daemon_client():
     """
     if "client" not in _DAEMON_RUNTIME:
         import atexit
+        import json
         import tempfile
         from pathlib import Path
 
@@ -158,14 +159,34 @@ def _daemon_client():
         from repro.service.daemon import LandscapeDaemon
 
         root = Path(tempfile.mkdtemp(prefix="oscar-eqd-"))
-        daemon = LandscapeDaemon(root / "daemon.sock", workers=1, shard_points=2)
+        tokens = root / "tokens.json"
+        tokens.write_text(json.dumps({"equivalence": "eq-harness-token"}))
+        daemon = LandscapeDaemon(
+            root / "daemon.sock",
+            workers=1,
+            shard_points=2,
+            tcp=("127.0.0.1", 0),
+            tokens_file=tokens,
+        )
         daemon.start()
         atexit.register(daemon.close)
+        host, port = daemon.tcp_address
         _DAEMON_RUNTIME["daemon"] = daemon
         _DAEMON_RUNTIME["client"] = LandscapeClient(
             daemon.socket_path, fallback=False
         )
+        _DAEMON_RUNTIME["tcp_client"] = LandscapeClient(
+            f"tcp://{host}:{port}",
+            fallback=False,
+            token="eq-harness-token",
+        )
     return _DAEMON_RUNTIME["client"]
+
+
+def _daemon_tcp_client():
+    """The token-authed TCP client against the same shared daemon."""
+    _daemon_client()
+    return _DAEMON_RUNTIME["tcp_client"]
 
 
 def daemon_engine(
@@ -235,6 +256,27 @@ def daemon_sparse_engine(
     )
 
 
+def daemon_tcp_engine(
+    ansatz: Ansatz,
+    batch: np.ndarray,
+    noise=None,
+    shots: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """The daemon's ``evaluate`` op over the authenticated TCP front.
+
+    Same daemon, same executor configuration as :func:`daemon_engine`,
+    but the request travels as a pickle-free v2 frame over TCP with a
+    bearer token: ansatz and noise go as declarative specs, the batch
+    as a typed array codec, and the caller's ``rng`` as a JSON state
+    object that round-trips — so matching the serial loop here proves
+    the network wire format preserves the full cross-engine contract.
+    """
+    return _daemon_tcp_client().evaluate_ansatz(
+        ansatz, batch, noise=noise, shots=shots, rng=rng
+    )
+
+
 #: Engine registry: name -> evaluation function.  ``REFERENCE_ENGINE``
 #: is what every other entry is pinned against.
 ENGINES: dict[str, EngineFn] = {
@@ -244,6 +286,7 @@ ENGINES: dict[str, EngineFn] = {
     "sharded": sharded_engine,
     "daemon": daemon_engine,
     "daemon-sparse": daemon_sparse_engine,
+    "daemon-tcp": daemon_tcp_engine,
 }
 REFERENCE_ENGINE = "serial"
 

@@ -671,3 +671,213 @@ class _Explosive:
 
     def cache_spec(self) -> dict:
         return {"kind": "explosive"}
+
+
+# -- TCP front: auth and limits ----------------------------------------------
+
+
+def _tcp_tokens(tmp_path):
+    import json
+
+    tokens = tmp_path / "tokens.json"
+    tokens.write_text(
+        json.dumps(
+            {
+                "alice": "tok-alice",
+                "bob": {"token": "tok-bob", "quota_bytes": 1 << 20},
+                "stale": {"token": "tok-stale", "expires": 1.0},
+            }
+        )
+    )
+    return tokens
+
+
+def _tcp_daemon(tmp_path, **overrides):
+    kwargs = dict(
+        workers=1,
+        cache_dir=tmp_path / "cache",
+        tcp=("127.0.0.1", 0),
+        tokens_file=_tcp_tokens(tmp_path),
+    )
+    kwargs.update(overrides)
+    daemon = LandscapeDaemon(tmp_path / "daemon.sock", **kwargs)
+    daemon.start()
+    return daemon
+
+
+def _tcp_send(daemon, message, timeout=30.0):
+    """One raw frame out, one response line back (b"" = closed)."""
+    import json
+
+    with socket.create_connection(daemon.tcp_address, timeout=timeout) as conn:
+        payload = message if isinstance(message, bytes) else json.dumps(message).encode()
+        conn.sendall(payload + b"\n")
+        with conn.makefile("rb") as stream:
+            line = stream.readline()
+    return json.loads(line) if line else None
+
+
+def test_tcp_requires_tokens_file(tmp_path):
+    with pytest.raises(ValueError, match="tokens_file"):
+        LandscapeDaemon(tmp_path / "d.sock", tcp=("127.0.0.1", 0))
+
+
+@pytest.mark.parametrize(
+    "token, detail",
+    [
+        (None, "missing"),
+        ("wrong-token", "unknown"),
+        ("tok-stale", "expired"),
+    ],
+)
+def test_bad_tokens_get_auth_errors_without_pool_work(tmp_path, token, detail):
+    """Missing, wrong and expired tokens all fail with the structured
+    ``auth`` code — before any compute/evaluate/tenant accounting."""
+    daemon = _tcp_daemon(tmp_path)
+    try:
+        frame = {
+            "version": 2,
+            "op": "compute",
+            "function": {
+                "kind": "ansatz",
+                "ansatz": {
+                    "type": "qaoa",
+                    "p": 1,
+                    "num_qubits": 3,
+                    "problem": {"couplings": [[0, 1, 1.0]], "fields": [], "offset": 0.0},
+                },
+                "noise": None,
+                "shots": None,
+            },
+            "grid": [
+                {"name": "g", "low": 0.0, "high": 1.0, "num_points": 3},
+                {"name": "b", "low": 0.0, "high": 1.0, "num_points": 3},
+            ],
+        }
+        if token is not None:
+            frame["token"] = token
+        response = _tcp_send(daemon, frame)
+        assert response["ok"] is False
+        assert response["error"]["code"] == "auth"
+        assert detail in response["error"]["message"]
+        with daemon._counter_lock:
+            counters = dict(daemon._counters)
+            tenant_ops = dict(daemon._tenant_counters)
+        assert counters["computed"] == 0 and counters["evaluations"] == 0
+        assert tenant_ops == {}, "rejected requests must not be attributed"
+    finally:
+        daemon.close()
+
+
+def test_presented_token_must_be_valid_even_on_unix(tmp_path):
+    """A *presented* token is always checked — Unix-socket callers
+    cannot silently fall back to the default tenant with a bad token."""
+    daemon = _tcp_daemon(tmp_path)
+    try:
+        client = LandscapeClient(daemon.socket_path, fallback=False, token="nope")
+        with pytest.raises(DaemonError) as denied:
+            client.ping()
+        assert denied.value.code == "auth"
+        # ... while no token at all keeps the legacy trust boundary.
+        assert LandscapeClient(daemon.socket_path).ping()["tenant"] == "local"
+    finally:
+        daemon.close()
+
+
+def test_payload_over_limit_gets_too_large_then_disconnect(tmp_path):
+    daemon = _tcp_daemon(tmp_path, max_payload_bytes=2048)
+    try:
+        import json
+
+        with socket.create_connection(daemon.tcp_address, timeout=30.0) as conn:
+            conn.sendall(b"X" * 4096 + b"\n")
+            with conn.makefile("rb") as stream:
+                response = json.loads(stream.readline())
+                assert response["ok"] is False
+                assert response["error"]["code"] == "too-large"
+                assert stream.readline() == b"", "connection must close"
+        # the daemon itself keeps serving
+        assert _tcp_send(daemon, {"version": 2, "op": "ping", "token": "tok-alice"})["ok"]
+    finally:
+        daemon.close()
+
+
+def test_idle_connections_are_disconnected(tmp_path):
+    daemon = _tcp_daemon(tmp_path, idle_timeout=0.4)
+    try:
+        with socket.create_connection(daemon.tcp_address, timeout=30.0) as conn:
+            start = time.monotonic()
+            with conn.makefile("rb") as stream:
+                assert stream.readline() == b"", "idle connection must be dropped"
+            assert time.monotonic() - start < 10.0
+        assert _tcp_send(daemon, {"version": 2, "op": "ping", "token": "tok-alice"})["ok"]
+    finally:
+        daemon.close()
+
+
+def test_connection_cap_sheds_with_retryable_error(tmp_path):
+    import json
+
+    daemon = _tcp_daemon(tmp_path, max_connections=1)
+    try:
+        with socket.create_connection(daemon.tcp_address, timeout=30.0) as held:
+            held.sendall(
+                json.dumps({"version": 2, "op": "ping", "token": "tok-alice"}).encode()
+                + b"\n"
+            )
+            held_stream = held.makefile("rb")
+            assert json.loads(held_stream.readline())["ok"] is True
+
+            response = _tcp_send(daemon, {"version": 2, "op": "ping", "token": "tok-alice"})
+            assert response["ok"] is False
+            assert response["error"]["code"] == "overloaded"
+            assert response["error"]["retryable"] is True
+            held_stream.close()
+        # capacity frees up once the held connection goes away
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            retry = _tcp_send(daemon, {"version": 2, "op": "ping", "token": "tok-alice"})
+            if retry and retry.get("ok"):
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("shed load never recovered")
+    finally:
+        daemon.close()
+
+
+def test_legacy_pickle_op_over_tcp_is_refused(tmp_path, ansatz):
+    """An unversioned (v1, pickled-task) frame over TCP never reaches a
+    handler: structured ``unsupported-version``, nothing unpickled."""
+    import base64
+    import pickle
+
+    daemon = _tcp_daemon(tmp_path)
+    try:
+        task = base64.b64encode(pickle.dumps({"ansatz": ansatz})).decode()
+        response = _tcp_send(daemon, {"op": "evaluate", "task": task})
+        assert response["ok"] is False
+        assert response["error"]["code"] == "unsupported-version"
+        with daemon._counter_lock:
+            assert daemon._counters["evaluations"] == 0
+    finally:
+        daemon.close()
+
+
+def test_tcp_client_refuses_unspecable_payloads_client_side(tmp_path):
+    """A cost function that cannot describe itself declaratively fails
+    in the client over TCP (the pickle fallback is Unix-only)."""
+    daemon = _tcp_daemon(tmp_path)
+    try:
+        host, port = daemon.tcp_address
+        client = LandscapeClient(
+            f"tcp://{host}:{port}", fallback=False, token="tok-alice"
+        )
+        grid = qaoa_grid(p=1, resolution=(4, 4))
+        with pytest.raises(DaemonError) as refused:
+            client.get_or_compute(_SlowConstant(0.0), grid)
+        assert refused.value.code == "invalid-spec"
+        with daemon._counter_lock:
+            assert daemon._counters["computed"] == 0
+    finally:
+        daemon.close()

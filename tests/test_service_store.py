@@ -322,3 +322,137 @@ def test_entries_listing_orders_by_recency(tmp_path):
     ordered = [entry.key for entry in store.entries()]
     assert ordered[-1] == pairs[0][0].key()
     assert ordered[0] == pairs[1][0].key()
+
+
+# -- multi-tenant namespaces (TenantStores) -----------------------------------
+
+
+def _tenant_stores(tmp_path, **kwargs):
+    from repro.service.store import TenantStores
+
+    default = LandscapeStore(tmp_path / "root")
+    return TenantStores(default_store=default, **kwargs)
+
+
+def test_tenant_namespaces_isolate_raw_keys(tmp_path):
+    """Tenant A's keys are invisible to tenant B's get/invalidate/entries."""
+    tenants = _tenant_stores(tmp_path)
+    spec, landscape = _tiny_landscape(0)
+    tenants.store_for("alice").put(spec, landscape)
+
+    bob = tenants.store_for("bob")
+    assert bob.get(spec.key()) is None
+    assert bob.invalidate(spec.key()) is False
+    assert [entry.key for entry in bob.entries()] == []
+    # ... and the entry is still exactly where alice left it.
+    assert tenants.store_for("alice").get(spec.key()) is not None
+
+
+def test_default_tenant_is_the_daemon_store(tmp_path):
+    """The default tenant aliases the daemon's original store, so
+    pre-existing on-disk caches keep working unchanged."""
+    tenants = _tenant_stores(tmp_path)
+    assert tenants.store_for("local") is tenants.default_store
+    spec, landscape = _tiny_landscape(1)
+    tenants.store_for("local").put(spec, landscape)
+    assert tenants.default_store.contains(spec)
+
+
+def test_tenant_quota_evicts_only_that_tenant(tmp_path):
+    """Filling one tenant's byte budget LRU-evicts its own entries and
+    nobody else's."""
+    tenants = _tenant_stores(tmp_path)
+    spec_b, landscape_b = _tiny_landscape(9)
+    tenants.store_for("bob").put(spec_b, landscape_b)
+
+    alice = tenants.store_for("alice")
+    specs = []
+    sizes = []
+    for seed in range(3):
+        spec, landscape = _tiny_landscape(seed)
+        alice.put(spec, landscape)
+        specs.append(spec)
+        sizes.append(alice.entries()[-1].payload_bytes)
+    alice.max_bytes = sum(sizes) - 1  # force one eviction on next put
+    spec3, landscape3 = _tiny_landscape(3)
+    alice.put(spec3, landscape3)
+
+    keys = {entry.key for entry in alice.entries()}
+    assert specs[0].key() not in keys, "alice's LRU entry should go"
+    assert spec3.key() in keys
+    # bob's namespace is untouched by alice's quota pressure.
+    assert tenants.store_for("bob").contains(spec_b)
+
+
+def test_quota_comes_from_credentials_then_default(tmp_path):
+    tenants = _tenant_stores(
+        tmp_path, quotas={"alice": 12345}, default_quota=99
+    )
+    assert tenants.store_for("alice").max_bytes == 12345
+    assert tenants.store_for("bob").max_bytes == 99
+    assert tenants.store_for("local").max_bytes is None
+
+
+def test_exact_specs_read_through_across_tenants(tmp_path):
+    """An identical exact spec any tenant already holds is shared;
+    shot-noise specs never are (different stochastic draw)."""
+    tenants = _tenant_stores(tmp_path)
+    spec, landscape = _tiny_landscape(4)
+    tenants.store_for("bob").put(spec, landscape)
+
+    found, owner = tenants.read_through(spec, "alice")
+    assert owner == "bob"
+    np.testing.assert_array_equal(found.values, landscape.values)
+
+    noisy = LandscapeSpec(
+        ansatz={"type": "synthetic", "seed": 4},
+        grid=spec.grid,
+        shots=128,
+        execution={"seed": 7, "shard_points": 2},
+    )
+    tenants.store_for("bob").put(noisy, landscape)
+    assert tenants.read_through(noisy, "alice") == (None, None)
+    # ... and a tenant never reads through to its own entry.
+    assert tenants.read_through(spec, "bob") == (None, None)
+
+
+def test_cross_tenant_dedupe_never_leaks_to_unauthenticated(tmp_path):
+    """End to end: alice's compute is shared with bob (store hit, no
+    recompute) but an unauthenticated TCP caller gets an auth error,
+    never values."""
+    import json as _json
+
+    from repro.service.client import DaemonError, LandscapeClient
+    from repro.service.daemon import LandscapeDaemon
+
+    tokens = tmp_path / "tokens.json"
+    tokens.write_text(_json.dumps({"alice": "tok-a", "bob": "tok-b"}))
+    ansatz = QaoaAnsatz(random_3_regular_maxcut(4, seed=0), p=1)
+    grid = qaoa_grid(p=1, resolution=(4, 4))
+    with LandscapeDaemon(
+        tmp_path / "daemon.sock",
+        workers=1,
+        cache_dir=tmp_path / "cache",
+        tcp=("127.0.0.1", 0),
+        tokens_file=tokens,
+    ) as daemon:
+        host, port = daemon.tcp_address
+        target = f"tcp://{host}:{port}"
+        alice = LandscapeClient(target, fallback=False, token="tok-a")
+        first = alice.get_or_compute(cost_function(ansatz), grid)
+        assert alice.last_served_by == "daemon-computed"
+
+        bob = LandscapeClient(target, fallback=False, token="tok-b")
+        shared = bob.get_or_compute(cost_function(ansatz), grid)
+        assert bob.last_served_by == "daemon-hit", "dedupe across tenants"
+        np.testing.assert_array_equal(shared.values, first.values)
+        counters = bob.stats()["counters"]
+        assert counters["computed"] == 1, "one compute serves both tenants"
+
+        anonymous = LandscapeClient(target, fallback=False)
+        with pytest.raises(DaemonError) as denied:
+            anonymous.get_or_compute(cost_function(ansatz), grid)
+        assert denied.value.code == "auth"
+        with pytest.raises(DaemonError) as denied:
+            anonymous.get(first.label)  # raw-key probe, no token
+        assert denied.value.code == "auth"
